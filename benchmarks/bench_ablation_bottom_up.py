@@ -1,0 +1,73 @@
+"""Ablation — top-down (Volcano) vs bottom-up (System R) search.
+
+The paper (Sections 2.2, 5) contrasts Volcano's top-down strategy with
+the bottom-up strategy of System R/R*, and notes Prairie could drive
+either.  Both engines are implemented here over the *same* generated
+rule set; they find identical plans (asserted), so the measurement
+isolates the scheduling difference: bottom-up eagerly computes winners
+for every equivalence class and every interesting order, top-down only
+for what the root request transitively demands.
+"""
+
+from repro.bench.reporting import format_table
+from repro.volcano.bottomup import BottomUpOptimizer
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.queries import make_query_instance
+
+POINTS = (("Q1", 2), ("Q1", 4), ("Q2", 4), ("Q3", 2), ("Q5", 2))
+
+
+def bench_ablation_bottom_up(benchmark, oodb_pair, report):
+    import time
+
+    rows = []
+    for qid, n in POINTS:
+        catalog, tree = make_query_instance(oodb_pair.schema, qid, n, 0)
+        top_down = VolcanoOptimizer(oodb_pair.generated, catalog)
+        bottom_up = BottomUpOptimizer(oodb_pair.generated, catalog)
+
+        started = time.perf_counter()
+        td = top_down.optimize(tree)
+        td_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        bu = bottom_up.optimize(tree)
+        bu_seconds = time.perf_counter() - started
+
+        assert abs(td.cost - bu.cost) <= 1e-9 * max(1.0, td.cost)
+        assert td.equivalence_classes == bu.equivalence_classes
+        rows.append(
+            (
+                f"{qid} n={n}",
+                f"{td_seconds * 1000:.1f}ms",
+                f"{bu_seconds * 1000:.1f}ms",
+                td.stats.winners_cached,
+                bu.stats.winners_cached,
+                f"{bu.stats.winners_cached / td.stats.winners_cached:.1f}x",
+            )
+        )
+    report(
+        "ablation_bottom_up",
+        format_table(
+            (
+                "query",
+                "top-down",
+                "bottom-up",
+                "winners (td)",
+                "winners (bu)",
+                "eager factor",
+            ),
+            rows,
+        )
+        + "\n\nidentical plans; bottom-up computes every class x interesting "
+        "order eagerly — the demand-driven top-down strategy's advantage",
+    )
+
+    # The eager factor must be real on at least the larger points.
+    assert any(int(r[4]) > int(r[3]) for r in rows)
+
+    catalog, tree = make_query_instance(oodb_pair.schema, "Q1", 3, 0)
+
+    def run_bottom_up():
+        return BottomUpOptimizer(oodb_pair.generated, catalog).optimize(tree)
+
+    benchmark(run_bottom_up)

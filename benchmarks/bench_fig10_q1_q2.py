@@ -1,0 +1,44 @@
+"""Figure 10 — query optimization times for Q1 and Q2 (template E1).
+
+Paper findings reproduced here:
+
+* Prairie-generated and hand-coded Volcano optimizers run in nearly the
+  same time (the two benchmark rows per query);
+* index presence makes **no** difference for Q1 vs Q2: the algebra's two
+  join algorithms (hash and pointer join) use no indices, and without a
+  selection predicate no index scan applies.
+"""
+
+import pytest
+
+from _figures import (
+    assert_monotone_growth,
+    assert_provenances_close,
+    time_one_optimization,
+    figure_report,
+)
+
+QIDS = ("Q1", "Q2")
+
+
+@pytest.mark.parametrize("qid", QIDS)
+@pytest.mark.parametrize("provenance", ["prairie_generated", "hand_coded"])
+def bench_optimization_time(benchmark, oodb_pair, config, qid, provenance):
+    ruleset = (
+        oodb_pair.generated if provenance == "prairie_generated" else oodb_pair.hand_coded
+    )
+    n = config.max_joins["E1"]
+    time_one_optimization(benchmark, ruleset, oodb_pair.schema, qid, n)
+
+
+def bench_fig10_series(benchmark, oodb_pair, config, report):
+    series = figure_report(report, oodb_pair, config, "fig10_q1_q2", QIDS)
+    q1_points, q2_points = series
+    for points in series:
+        assert_provenances_close(points)
+        assert_monotone_growth(points)
+    # Index insensitivity: identical search behaviour for Q1 and Q2.
+    for p1, p2 in zip(q1_points, q2_points):
+        assert p1.equivalence_classes == p2.equivalence_classes
+        assert p1.best_cost == pytest.approx(p2.best_cost)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

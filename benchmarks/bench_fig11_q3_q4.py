@@ -1,0 +1,41 @@
+"""Figure 11 — query optimization times for Q3 and Q4 (template E2).
+
+E2 adds a MAT (materialize) after each class retrieval, so the MAT
+placement rules multiply the search space relative to E1; index presence
+still changes nothing (Q3 ≡ Q4), as in the paper.
+"""
+
+import pytest
+
+from _figures import (
+    assert_monotone_growth,
+    assert_provenances_close,
+    figure_report,
+    time_one_optimization,
+)
+
+QIDS = ("Q3", "Q4")
+
+
+@pytest.mark.parametrize("qid", QIDS)
+@pytest.mark.parametrize("provenance", ["prairie_generated", "hand_coded"])
+def bench_optimization_time(benchmark, oodb_pair, config, qid, provenance):
+    ruleset = (
+        oodb_pair.generated
+        if provenance == "prairie_generated"
+        else oodb_pair.hand_coded
+    )
+    n = config.max_joins["E2"]
+    time_one_optimization(benchmark, ruleset, oodb_pair.schema, qid, n)
+
+
+def bench_fig11_series(benchmark, oodb_pair, config, report):
+    series = figure_report(report, oodb_pair, config, "fig11_q3_q4", QIDS)
+    q3_points, q4_points = series
+    for points in series:
+        assert_provenances_close(points)
+        assert_monotone_growth(points)
+    for p3, p4 in zip(q3_points, q4_points):
+        assert p3.equivalence_classes == p4.equivalence_classes
+        assert p3.best_cost == pytest.approx(p4.best_cost)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Figure 13 — query optimization times for Q7 and Q8 (template E4).
+
+E4 is the paper's most complex template: SELECT above joins of
+materialized retrievals, exercising every operator except PROJECT and
+UNNEST.  The combined SELECT × MAT × JOIN placement space is the
+largest of the study — the paper ran out of virtual memory past 3-way
+joins; our quick mode stops at 2-way for the same reason (time).
+"""
+
+import pytest
+
+from _figures import (
+    assert_monotone_growth,
+    assert_provenances_close,
+    figure_report,
+    time_one_optimization,
+)
+
+QIDS = ("Q7", "Q8")
+
+
+@pytest.mark.parametrize("qid", QIDS)
+@pytest.mark.parametrize("provenance", ["prairie_generated", "hand_coded"])
+def bench_optimization_time(benchmark, oodb_pair, config, qid, provenance):
+    ruleset = (
+        oodb_pair.generated
+        if provenance == "prairie_generated"
+        else oodb_pair.hand_coded
+    )
+    n = config.max_joins["E4"]
+    time_one_optimization(benchmark, ruleset, oodb_pair.schema, qid, n)
+
+
+def bench_fig13_series(benchmark, oodb_pair, config, report):
+    series = figure_report(report, oodb_pair, config, "fig13_q7_q8", QIDS)
+    q7_points, q8_points = series
+    for points in series:
+        assert_provenances_close(points)
+        assert_monotone_growth(points)
+    for p7, p8 in zip(q7_points, q8_points):
+        assert p8.best_cost < p7.best_cost
+        assert p7.equivalence_classes == p8.equivalence_classes
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Figure 14 — number of equivalence classes vs number of joins.
+
+The paper's plot shows memo growth for the four expression templates;
+the dramatic lesson is that adding SELECT (E3/E4) multiplies the search
+space because the selection-placement rules interact with every other
+operator.  Equivalence-class counts are engine facts, identical for the
+Prairie-generated and hand-coded rule sets (asserted elsewhere), so one
+rule set suffices here.
+"""
+
+from repro.bench.reporting import format_table
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.queries import QUERIES, make_query_instance
+
+# E1..E4 measured through their no-index query families.
+TEMPLATES = (("E1", "Q1"), ("E2", "Q3"), ("E3", "Q5"), ("E4", "Q7"))
+
+
+def _classes(pair, qid: str, n_joins: int) -> "tuple[int, int]":
+    catalog, tree = make_query_instance(pair.schema, qid, n_joins, instance=0)
+    result = VolcanoOptimizer(pair.generated, catalog).optimize(tree)
+    return result.equivalence_classes, result.stats.mexprs
+
+
+def bench_fig14_equivalence_classes(benchmark, oodb_pair, config, report):
+    rows = []
+    series = {}
+    for template, qid in TEMPLATES:
+        max_joins = config.max_joins[template]
+        counts = []
+        for n in range(1, max_joins + 1):
+            groups, mexprs = _classes(oodb_pair, qid, n)
+            counts.append((n, groups, mexprs))
+        series[template] = counts
+        for n, groups, mexprs in counts:
+            rows.append((template, n, groups, mexprs))
+
+    from repro.bench.charts import chart_class_growth
+
+    report(
+        "fig14_equivalence_classes",
+        format_table(("template", "joins", "eq.classes", "mexprs"), rows)
+        + "\n\n"
+        + chart_class_growth(
+            "equivalence classes vs joins (log scale)", series
+        ),
+    )
+
+    # Shape assertions from the paper's Figure 14:
+    for template, counts in series.items():
+        groups = [g for _n, g, _m in counts]
+        assert groups == sorted(groups), f"{template} must grow monotonically"
+    # SELECT explodes the space: at equal join count, E3 > E1 and E4 > E2.
+    n_common = min(config.max_joins["E1"], config.max_joins["E3"], 2)
+    e1 = dict((n, g) for n, g, _ in series["E1"])
+    e3 = dict((n, g) for n, g, _ in series["E3"])
+    assert e3[n_common] > e1[n_common]
+    n_common = min(config.max_joins["E2"], config.max_joins["E4"], 2)
+    e2 = dict((n, g) for n, g, _ in series["E2"])
+    e4 = dict((n, g) for n, g, _ in series["E4"])
+    assert e4[n_common] > e2[n_common]
+
+    # Time the fastest point as the registered benchmark case.
+    benchmark.pedantic(
+        _classes, args=(oodb_pair, "Q1", 1), rounds=3, iterations=1
+    )

@@ -1,0 +1,62 @@
+"""Section 4 ¶1 (ref. [5]) — the small centralized relational optimizer.
+
+The paper's earlier workshop result: writing the relational optimizer in
+Prairie instead of raw Volcano saved ~50% of the specification code with
+a <5% optimization-time penalty.  We reproduce the *shape*: the Prairie
+DSL source is roughly half the hand-coded Volcano module, and the
+generated optimizer's time tracks the hand-coded one closely (equal
+plans asserted).
+"""
+
+import inspect
+
+from repro.bench.harness import run_query_point
+from repro.bench.reporting import format_seconds, format_table
+from repro.optimizers import relational_volcano
+from repro.prairie.codegen import format_prairie_spec, spec_line_count
+
+
+def bench_sec4_relational_sizes(benchmark, relational_pair, report):
+    prairie_lines = spec_line_count(format_prairie_spec(relational_pair.prairie))
+    hand_lines = spec_line_count(inspect.getsource(relational_volcano))
+    rows = [
+        ("Prairie specification (emitted DSL)", prairie_lines),
+        ("Hand-coded Volcano (Python module)", hand_lines),
+        ("ratio", f"{prairie_lines / hand_lines:.2f}"),
+    ]
+    report(
+        "sec4_relational_sizes",
+        format_table(("Artifact", "non-blank lines"), rows)
+        + "\n\npaper [5]: ~50% savings in lines of code",
+    )
+    # The paper's ~50% savings: Prairie well under the hand-coded size.
+    assert prairie_lines < 0.75 * hand_lines
+
+    benchmark(lambda: format_prairie_spec(relational_pair.prairie))
+
+
+def bench_sec4_relational_times(benchmark, relational_pair, config, report):
+    rows = []
+    for n in range(1, 5):
+        point = run_query_point(relational_pair, "Q2", n, config.instances)
+        rows.append(
+            (
+                n,
+                format_seconds(point.prairie_seconds),
+                format_seconds(point.volcano_seconds),
+                f"{point.overhead_percent:+.1f}%",
+                point.equivalence_classes,
+            )
+        )
+    report(
+        "sec4_relational_times",
+        format_table(
+            ("joins", "Prairie", "Volcano", "overhead", "eq.classes"), rows
+        )
+        + "\n\npaper [5]: <5% increase in optimization time",
+    )
+
+    def one():
+        return run_query_point(relational_pair, "Q2", 3, 1)
+
+    benchmark.pedantic(one, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Table 4 — correspondence of rules in Prairie and Volcano.
+
+Regenerates both halves of the paper's table from the actual
+translation: (a) every T-rule's fate (trans_rule, or deleted by rule
+merging), and (b) every I-rule's fate (impl_rule with its four generated
+support functions, enforcer, or dissolved Null rule).
+"""
+
+from repro.bench.reporting import format_table
+from repro.optimizers.oodb import build_oodb_prairie
+from repro.prairie.translate import translate
+
+
+def bench_table4a_t_rules(benchmark, oodb_pair, report):
+    translation = oodb_pair.translation
+    prairie = oodb_pair.prairie
+    deleted = set(translation.report.deleted_identity_rules) | set(
+        translation.report.deleted_renaming_rules
+    )
+    trans_names = {r.name for r in translation.volcano.trans_rules}
+
+    rows = []
+    for rule in prairie.t_rules:
+        if rule.name in deleted:
+            fate = "— (merged away: enforcer introduction)"
+        elif rule.name in trans_names:
+            fate = f"trans_rule {rule.name} (pre-test+test→cond_code, post-test→appl_code)"
+        else:
+            fate = "trans_rule (spliced)"
+        rows.append((f"T-rule {rule.name}", fate))
+    report("table4a_t_rules", format_table(("Prairie", "Volcano"), rows))
+
+    assert len(deleted) == 5
+    assert len(trans_names) == 17
+    benchmark(lambda: translate(build_oodb_prairie()).volcano.trans_rules)
+
+
+def bench_table4b_i_rules(benchmark, oodb_pair, report):
+    translation = oodb_pair.translation
+    prairie = oodb_pair.prairie
+    impl_names = {r.name for r in translation.volcano.impl_rules}
+    enforcer_names = {r.name for r in translation.volcano.enforcers}
+    null_names = {r.name for r in translation.merged.null_i_rules}
+
+    rows = []
+    for rule in prairie.i_rules:
+        if rule.name in impl_names:
+            generated = (
+                f"impl_rule {rule.name} + generated do_any_good/"
+                f"get_input_pv/derive_phy_prop/cost"
+            )
+        elif rule.name in enforcer_names:
+            generated = f"enforcer {rule.name} ({rule.algorithm_name})"
+        elif rule.name in null_names:
+            generated = "— (Null: dissolved into the engine)"
+        else:  # merged into another rule
+            generated = "folded into an impl_rule"
+        rows.append((f"I-rule {rule.name}", generated))
+    report("table4b_i_rules", format_table(("Prairie", "Volcano"), rows))
+
+    assert len(impl_names) == 9
+    assert len(enforcer_names) == 1
+    assert len(null_names) == 1
+
+    # Every impl_rule really carries the four callables of Table 4(b).
+    for rule in translation.volcano.impl_rules:
+        for fn in (rule.do_any_good, rule.get_input_pv, rule.derive_phy_prop, rule.cost):
+            assert callable(fn)
+
+    benchmark(lambda: translate(build_oodb_prairie()).volcano.impl_rules)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.
+Two kinds of output are produced:
+
+* pytest-benchmark timings — the Prairie-generated and hand-coded
+  Volcano optimizers appear as separate benchmark rows, so the headline
+  comparison (Figures 10–13: "within a few percent") is visible directly
+  in the benchmark table;
+* plain-text reports — the full per-figure series/tables, printed and
+  saved under ``benchmarks/results/``.
+
+``REPRO_BENCH_FULL=1`` switches from the quick sweep to the paper-scale
+axes (E1/E2 to 8-way joins, 5 cardinality instances per point); expect
+the full sweep to take tens of minutes, dominated by E4 — the same
+blow-up that stopped the paper's authors at 3-way joins.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, build_optimizer_pair
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_environment()
+
+
+@pytest.fixture(scope="session")
+def oodb_pair():
+    return build_optimizer_pair("oodb")
+
+
+@pytest.fixture(scope="session")
+def relational_pair():
+    return build_optimizer_pair("relational")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a report block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return emit

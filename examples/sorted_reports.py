@@ -1,0 +1,106 @@
+"""Physical properties: how sort requirements shape plans.
+
+Prairie expresses "this stream must be sorted" through ordinary rules:
+the SORT enforcer-operator, the Merge_sort algorithm (paper Figure 5),
+and the Null pass-through (Figure 7).  After P2V, the Volcano engine
+serves sortedness demands three ways, all visible here:
+
+* an **index scan** that happens to deliver the right order (free-ish);
+* a **merge sort** enforcer on top of the cheapest unordered plan;
+* an algorithm that **propagates** the requirement to its input
+  (the order-preserving Filter/Nested-loops style rules).
+
+Run:  python examples/sorted_reports.py
+"""
+
+from repro import Database, VolcanoOptimizer, build_relational_prairie, translate
+from repro.algebra.expressions import format_tree
+from repro.catalog.predicates import equals_attr, equals_const
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+from repro.engine.executor import execute_plan
+from repro.engine.iterators import is_sorted_on
+from repro.workloads.trees import TreeBuilder
+
+
+def make_catalog() -> Catalog:
+    return Catalog(
+        [
+            StoredFileInfo(
+                "Orders",
+                ("order_day", "order_total", "order_cust"),
+                4000,
+                120,
+                indices=(IndexInfo("order_day"),),
+            ),
+            StoredFileInfo(
+                "Customers",
+                ("cust_id", "cust_region"),
+                400,
+                80,
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    prairie = build_relational_prairie()
+    volcano = translate(prairie).volcano
+    catalog = make_catalog()
+    builder = TreeBuilder(prairie.schema, catalog)
+    optimizer = VolcanoOptimizer(volcano, catalog)
+
+    # 1. Ordered by the indexed attribute: the index scan delivers it.
+    tree = builder.ret("Orders", equals_const("order_day", 5))
+    result = optimizer.optimize(tree, required=("order_day",))
+    print("order by the indexed attribute (order_day):")
+    print(format_tree(result.plan))
+    assert result.plan.op.name == "Index_scan"
+
+    # 2. Ordered by an unindexed attribute: the sort enforcer appears.
+    result = optimizer.optimize(builder.ret("Orders"), required=("order_total",))
+    print("\norder by an unindexed attribute (order_total):")
+    print(format_tree(result.plan))
+    assert result.plan.op.name == "Merge_sort"
+
+    # 3. A sorted join result: the engine weighs sorting inputs for a
+    #    merge join against sorting the join's output.
+    join_tree = builder.join(
+        builder.ret("Orders"),
+        builder.ret("Customers"),
+        equals_attr("order_cust", "cust_id"),
+    )
+    unordered = optimizer.optimize(join_tree)
+    ordered = optimizer.optimize(join_tree, required=("order_cust",))
+    print("\njoin without ordering requirement:")
+    print(format_tree(unordered.plan))
+    print("\nsame join, output ordered by order_cust:")
+    print(format_tree(ordered.plan))
+    print(
+        f"\ncost of ordering: {ordered.cost:,.1f} vs {unordered.cost:,.1f} "
+        f"(+{ordered.cost - unordered.cost:,.1f})"
+    )
+    assert ordered.cost >= unordered.cost
+
+    # The delivered order is real: execute and check.
+    small = Catalog(
+        [
+            StoredFileInfo("Orders", ("order_day", "order_total", "order_cust"), 50, 120),
+            StoredFileInfo("Customers", ("cust_id", "cust_region"), 20, 80),
+        ]
+    )
+    small_builder = TreeBuilder(prairie.schema, small)
+    small_plan = VolcanoOptimizer(volcano, small).optimize(
+        small_builder.join(
+            small_builder.ret("Orders"),
+            small_builder.ret("Customers"),
+            equals_attr("order_cust", "cust_id"),
+        ),
+        required=("order_cust",),
+    ).plan
+    rows = execute_plan(small_plan, Database(small, seed=3))
+    assert is_sorted_on(rows, "order_cust")
+    print(f"\nexecuted ordered join: {len(rows)} rows, verified sorted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``pip install -e .``) on machines
+without the ``wheel`` package / network access (legacy ``setup.py
+develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""Prairie: a rule specification framework for query optimizers.
+
+A from-scratch Python reproduction of *Prairie: A Rule Specification
+Framework for Query Optimizers* (Dinesh Das and Don Batory, ICDE 1995 /
+UT Austin TR 94-16), comprising:
+
+* the **Prairie** algebraic rule framework — first-class operators and
+  algorithms, uniform descriptors, T-rules and I-rules, the Null
+  algorithm (:mod:`repro.prairie`), with both a textual specification
+  language (:mod:`repro.prairie.dsl`) and a programmatic API
+  (:mod:`repro.prairie.build`);
+* the **P2V pre-processor** — enforcer detection, automatic property
+  classification, rule merging, and code generation into the Volcano
+  model (:func:`repro.prairie.translate.translate`);
+* a reimplementation of the **Volcano optimizer generator**'s model and
+  top-down, memoizing, branch-and-bound search engine
+  (:mod:`repro.volcano`);
+* two complete optimizers in both Prairie and hand-coded Volcano form —
+  the centralized relational optimizer of the paper's Table 1 and the
+  Open-OODB-scale object optimizer of Section 4 (:mod:`repro.optimizers`);
+* an iterator **execution engine** so plans actually run
+  (:mod:`repro.engine`), a catalog/statistics substrate
+  (:mod:`repro.catalog`), the paper's workloads E1–E4 / Q1–Q8
+  (:mod:`repro.workloads`), and the benchmark harness regenerating every
+  table and figure (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import (
+        build_oodb_prairie, translate, VolcanoOptimizer, TreeBuilder,
+    )
+    from repro.workloads import make_query_instance
+
+    prairie = build_oodb_prairie()            # the rule set, in Prairie
+    volcano = translate(prairie).volcano      # P2V: Prairie -> Volcano
+    catalog, tree = make_query_instance(prairie.schema, "Q5", n_joins=2)
+    result = VolcanoOptimizer(volcano, catalog).optimize(tree)
+    print(result.cost, result.equivalence_classes)
+"""
+
+from repro.algebra import (
+    Algorithm,
+    Descriptor,
+    DescriptorSchema,
+    DONT_CARE,
+    Expression,
+    Operator,
+    PropertyDef,
+    PropertyType,
+    StoredFileRef,
+)
+from repro.catalog import Catalog, IndexInfo, StoredFileInfo
+from repro.engine import Database, execute_plan, naive_evaluate
+from repro.errors import PrairieError
+from repro.optimizers import (
+    build_oodb_prairie,
+    build_oodb_volcano,
+    build_relational_prairie,
+    build_relational_volcano,
+)
+from repro.prairie import IRule, PrairieRuleSet, TRule
+from repro.prairie.dsl import compile_spec, parse_spec
+from repro.prairie.translate import translate, translate_to_volcano
+from repro.volcano import (
+    BottomUpOptimizer,
+    OptimizationResult,
+    SearchOptions,
+    VolcanoOptimizer,
+    VolcanoRuleSet,
+    explain,
+    normalize_query,
+)
+from repro.workloads import TreeBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "BottomUpOptimizer",
+    "SearchOptions",
+    "explain",
+    "normalize_query",
+    "Catalog",
+    "Database",
+    "Descriptor",
+    "DescriptorSchema",
+    "DONT_CARE",
+    "Expression",
+    "IndexInfo",
+    "IRule",
+    "OptimizationResult",
+    "Operator",
+    "PrairieError",
+    "PrairieRuleSet",
+    "PropertyDef",
+    "PropertyType",
+    "StoredFileInfo",
+    "StoredFileRef",
+    "TreeBuilder",
+    "TRule",
+    "VolcanoOptimizer",
+    "VolcanoRuleSet",
+    "build_oodb_prairie",
+    "build_oodb_volcano",
+    "build_relational_prairie",
+    "build_relational_volcano",
+    "compile_spec",
+    "execute_plan",
+    "naive_evaluate",
+    "parse_spec",
+    "translate",
+    "translate_to_volcano",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Algebraic core shared by the Prairie front end and the Volcano engine.
+
+This package defines the vocabulary of Section 2.1 of the paper:
+
+* :mod:`repro.algebra.properties` — descriptor *properties* and property
+  schemas (Table 2 of the paper), including the ``DONT_CARE`` marker and
+  the ``COST`` property type used by the P2V classifier.
+* :mod:`repro.algebra.descriptors` — *descriptors*: the single, uniform
+  list of ⟨property, value⟩ annotations attached to every node of an
+  operator tree.
+* :mod:`repro.algebra.operations` — abstract *operators* (JOIN, RET, …)
+  and concrete *algorithms* (Nested_loops, File_scan, …), both first-class.
+* :mod:`repro.algebra.expressions` — *operator trees* (expressions) whose
+  interior nodes are database operations and whose leaves are stored
+  files, and *access plans* (operator trees whose interior nodes are all
+  algorithms).
+"""
+
+from repro.algebra.properties import (
+    DONT_CARE,
+    PropertyDef,
+    PropertyType,
+    DescriptorSchema,
+)
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.operations import (
+    Algorithm,
+    DatabaseOperation,
+    Operator,
+    NULL_ALGORITHM_NAME,
+)
+from repro.algebra.expressions import (
+    Expression,
+    StoredFileRef,
+    is_access_plan,
+    walk,
+)
+
+__all__ = [
+    "DONT_CARE",
+    "PropertyDef",
+    "PropertyType",
+    "DescriptorSchema",
+    "Descriptor",
+    "DatabaseOperation",
+    "Operator",
+    "Algorithm",
+    "NULL_ALGORITHM_NAME",
+    "Expression",
+    "StoredFileRef",
+    "is_access_plan",
+    "walk",
+]

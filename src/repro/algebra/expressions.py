@@ -1,0 +1,202 @@
+"""Operator trees (expressions) and access plans.
+
+An *operator tree* is a rooted tree whose interior nodes are database
+operations and whose leaves are stored files (paper Section 2.1).  Trees
+whose interior nodes are all abstract operators are the optimizer's input;
+trees whose interior nodes are all algorithms are *access plans*, the
+optimizer's output.  Mixed trees occur transiently during optimization.
+
+Expressions here are plain recursive data: each node carries its operation,
+its children (the essential parameters), and its descriptor (which holds
+the additional parameters and everything else the optimizer annotates).
+The Volcano engine does not search over these trees directly — it encodes
+them into a memo of equivalence classes (:mod:`repro.volcano.memo`) — but
+trees are the interchange format at the optimizer's boundary and the form
+the execution engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.operations import (
+    Algorithm,
+    DatabaseOperation,
+    InputKind,
+    Operator,
+)
+from repro.errors import AlgebraError
+
+
+@dataclass
+class StoredFileRef:
+    """A leaf of an operator tree: a reference to a stored file.
+
+    ``name`` identifies a relation or class in the catalog; ``descriptor``
+    carries its annotations (cardinality, attributes, indices, …) once the
+    tree has been initialized against a catalog.
+    """
+
+    name: str
+    descriptor: Descriptor
+
+    def __str__(self) -> str:
+        return self.name
+
+    def signature(self) -> tuple:
+        """Structural identity of this leaf (files are identified by name)."""
+        return ("file", self.name)
+
+
+ExpressionInput = Union["Expression", StoredFileRef]
+
+
+class Expression:
+    """A node of an operator tree: operation + children + descriptor.
+
+    The children are the node's *essential parameters*; the descriptor
+    holds its *additional parameters* and all other annotations.  The
+    class is intentionally a simple container: rules and the engine
+    construct and deconstruct these trees freely.
+    """
+
+    __slots__ = ("op", "inputs", "descriptor")
+
+    def __init__(
+        self,
+        op: DatabaseOperation,
+        inputs: "tuple[ExpressionInput, ...] | list[ExpressionInput]",
+        descriptor: Descriptor,
+    ) -> None:
+        inputs = tuple(inputs)
+        if len(inputs) != op.arity:
+            raise AlgebraError(
+                f"{op.name} takes {op.arity} essential parameter(s), "
+                f"got {len(inputs)}"
+            )
+        for kind, child in zip(op.inputs, inputs):
+            if kind is InputKind.FILE and not isinstance(child, StoredFileRef):
+                raise AlgebraError(
+                    f"input of {op.name} must be a stored file, got "
+                    f"{type(child).__name__}"
+                )
+            if kind is InputKind.STREAM and not isinstance(
+                child, (Expression, StoredFileRef)
+            ):
+                raise AlgebraError(
+                    f"input of {op.name} must be an expression, got "
+                    f"{type(child).__name__}"
+                )
+        self.op = op
+        self.inputs = inputs
+        self.descriptor = descriptor
+
+    # -- structure ---------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """A hashable encoding of the tree shape and operation names.
+
+        Descriptors are *not* part of the signature; two occurrences of
+        the same logical shape compare equal regardless of annotations.
+        Used for duplicate detection in tests and tree utilities (the memo
+        has its own, argument-aware notion of identity).
+        """
+        return (self.op.name,) + tuple(child.signature() for child in self.inputs)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(child) for child in self.inputs)
+        return f"{self.op.name}({args})"
+
+    def __repr__(self) -> str:
+        return f"Expression({self!s})"
+
+    # -- traversal -----------------------------------------------------------
+
+    def children(self) -> "tuple[ExpressionInput, ...]":
+        return self.inputs
+
+    def with_inputs(self, inputs: "tuple[ExpressionInput, ...]") -> "Expression":
+        """A new node with the same operation/descriptor, different children."""
+        return Expression(self.op, inputs, self.descriptor)
+
+    def copy_tree(self) -> "Expression":
+        """Deep copy of the tree, with fresh descriptor objects throughout."""
+        new_inputs: list[ExpressionInput] = []
+        for child in self.inputs:
+            if isinstance(child, Expression):
+                new_inputs.append(child.copy_tree())
+            else:
+                new_inputs.append(
+                    StoredFileRef(child.name, child.descriptor.copy())
+                )
+        return Expression(self.op, tuple(new_inputs), self.descriptor.copy())
+
+
+def walk(expr: ExpressionInput) -> Iterator[ExpressionInput]:
+    """Pre-order traversal over every node (interior and leaf) of a tree."""
+    yield expr
+    if isinstance(expr, Expression):
+        for child in expr.inputs:
+            yield from walk(child)
+
+
+def interior_nodes(expr: ExpressionInput) -> Iterator[Expression]:
+    """The interior (operation) nodes of a tree, pre-order."""
+    for node in walk(expr):
+        if isinstance(node, Expression):
+            yield node
+
+
+def leaves(expr: ExpressionInput) -> Iterator[StoredFileRef]:
+    """The stored-file leaves of a tree, left to right."""
+    for node in walk(expr):
+        if isinstance(node, StoredFileRef):
+            yield node
+
+
+def is_access_plan(expr: ExpressionInput) -> bool:
+    """True iff every interior node of the tree is an algorithm.
+
+    Access plans are the optimizer's output (paper Section 2.1): they are
+    directly executable by the iterator engine.
+    """
+    return all(node.op.is_algorithm for node in interior_nodes(expr))
+
+
+def is_logical(expr: ExpressionInput) -> bool:
+    """True iff every interior node of the tree is an abstract operator."""
+    return all(node.op.is_operator for node in interior_nodes(expr))
+
+
+def count_nodes(expr: ExpressionInput) -> int:
+    """Total number of nodes (interior + leaves) in the tree."""
+    return sum(1 for _ in walk(expr))
+
+
+def tree_depth(expr: ExpressionInput) -> int:
+    """Height of the tree; a bare leaf has depth 1."""
+    if isinstance(expr, StoredFileRef):
+        return 1
+    return 1 + max(tree_depth(child) for child in expr.inputs)
+
+
+def format_tree(expr: ExpressionInput, annotate: "Callable[[ExpressionInput], str] | None" = None) -> str:
+    """A multi-line indented rendering of the tree for debugging/reports.
+
+    ``annotate`` may supply a per-node suffix (e.g. the cost from the
+    node's descriptor).
+    """
+    lines: list[str] = []
+
+    def emit(node: ExpressionInput, depth: int) -> None:
+        label = node.op.name if isinstance(node, Expression) else node.name
+        suffix = f"  {annotate(node)}" if annotate else ""
+        lines.append("  " * depth + label + suffix)
+        if isinstance(node, Expression):
+            for child in node.inputs:
+                emit(child, depth + 1)
+
+    emit(expr, 0)
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Database operations: abstract operators and concrete algorithms.
+
+The Prairie model (paper Section 2.1) distinguishes two kinds of
+*database operation*:
+
+* **Operators** are abstract (implementation-unspecified) computations on
+  streams or stored files, written in ALL CAPS in the paper: ``JOIN``,
+  ``RET``, ``SORT``.  Operators have *essential parameters* (their stream
+  or file inputs — the children in an operator tree) and *additional
+  parameters* (fine-grained qualifications such as the join predicate),
+  which Prairie folds into the node descriptor.
+
+* **Algorithms** are concrete implementations of operators, written
+  Capitalized: ``Nested_loops``, ``File_scan``, ``Merge_sort``.  Several
+  algorithms usually implement one operator; the association is made by
+  I-rules, not by the declarations here.
+
+Both are *first-class*: any of them, and only them, may appear in rules
+(paper Section 1, goal 1).  The special :data:`NULL_ALGORITHM_NAME`
+algorithm ``Null`` passes its input through unchanged and is the mechanism
+by which Prairie expresses "this operator may be deleted" (Section 2.5);
+P2V uses its presence to detect enforcer-operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AlgebraError
+
+NULL_ALGORITHM_NAME = "Null"
+
+
+class InputKind(enum.Enum):
+    """Kind of an essential parameter: a stream or a stored file."""
+
+    STREAM = "stream"
+    FILE = "file"
+
+
+@dataclass(frozen=True)
+class DatabaseOperation:
+    """Common shape of operators and algorithms.
+
+    Parameters
+    ----------
+    name:
+        Unique operation name.  By convention (enforced loosely, reported
+        by rule-set validation) operators are ALL CAPS and algorithms are
+        Capitalized.
+    inputs:
+        The kinds of the essential parameters, in order.  ``RET`` takes one
+        ``FILE``; ``JOIN`` takes two ``STREAM`` inputs.
+    doc:
+        Human-readable description (used in generated specs and reports).
+    """
+
+    name: str
+    inputs: tuple[InputKind, ...] = (InputKind.STREAM,)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise AlgebraError(f"invalid operation name {self.name!r}")
+        if not isinstance(self.inputs, tuple):
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+        for kind in self.inputs:
+            if not isinstance(kind, InputKind):
+                raise AlgebraError(
+                    f"input kind {kind!r} of {self.name} is not an InputKind"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of essential parameters (children in an operator tree)."""
+        return len(self.inputs)
+
+    @property
+    def is_algorithm(self) -> bool:
+        return isinstance(self, Algorithm)
+
+    @property
+    def is_operator(self) -> bool:
+        return isinstance(self, Operator)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Operator(DatabaseOperation):
+    """An abstract operator (JOIN, RET, SORT, SELECT, MAT, …)."""
+
+    @staticmethod
+    def streams(name: str, arity: int, doc: str = "") -> "Operator":
+        """An operator with ``arity`` stream inputs."""
+        return Operator(name, (InputKind.STREAM,) * arity, doc)
+
+    @staticmethod
+    def on_file(name: str, doc: str = "") -> "Operator":
+        """An operator with a single stored-file input (e.g. RET)."""
+        return Operator(name, (InputKind.FILE,), doc)
+
+
+@dataclass(frozen=True)
+class Algorithm(DatabaseOperation):
+    """A concrete algorithm (Nested_loops, File_scan, Merge_sort, …).
+
+    ``tuning`` names optional *tuning parameters* — knobs an algorithm has
+    beyond the parameters of the operators it implements (paper
+    footnote 1); they are carried for documentation and cost models.
+    """
+
+    tuning: tuple[str, ...] = field(default=())
+
+    @property
+    def is_null(self) -> bool:
+        """True for the distinguished pass-through ``Null`` algorithm."""
+        return self.name == NULL_ALGORITHM_NAME
+
+    @staticmethod
+    def streams(name: str, arity: int, doc: str = "") -> "Algorithm":
+        return Algorithm(name, (InputKind.STREAM,) * arity, doc)
+
+    @staticmethod
+    def on_file(name: str, doc: str = "") -> "Algorithm":
+        return Algorithm(name, (InputKind.FILE,), doc)
+
+
+def make_null_algorithm() -> Algorithm:
+    """The distinguished ``Null`` algorithm: one stream in, passed through.
+
+    Its role (paper Section 2.5) is to let rule sets "delete" an operator:
+    an I-rule ``O(S1):D2 ⇒ Null(S1:D3):D4`` marks ``O`` as removable, which
+    P2V uses to classify ``O`` as an enforcer-operator.
+    """
+    return Algorithm(
+        NULL_ALGORITHM_NAME,
+        (InputKind.STREAM,),
+        doc="pass-through algorithm; implements operator deletion",
+    )

@@ -1,0 +1,253 @@
+"""Descriptor properties and property schemas.
+
+A *property* is a user-defined variable holding information used by the
+optimizer (paper Section 2.1, Table 2).  Prairie treats all properties
+uniformly: the user declares one flat list of properties per node kind and
+never classifies them.  The P2V pre-processor later recovers Volcano's
+classification (cost / physical property / operator-algorithm argument)
+automatically — see :mod:`repro.prairie.analysis`.
+
+The only classification hint the user gives is the *type* of each property;
+a property of type :attr:`PropertyType.COST` is always classified as a cost
+property by P2V (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import DescriptorError
+
+
+class _DontCare:
+    """Singleton marker for "no requirement" property values.
+
+    The paper writes this value ``DONT_CARE``; it is most prominently used
+    for ``tuple_order`` ("tuple order of resulting stream, DONT_CARE if
+    none", Table 2).  A single shared instance is exposed as
+    :data:`DONT_CARE`; equality is identity, so copies of descriptors keep
+    comparing equal cheaply.
+    """
+
+    _instance: "_DontCare | None" = None
+
+    def __new__(cls) -> "_DontCare":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "DONT_CARE"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __deepcopy__(self, memo: dict) -> "_DontCare":
+        return self
+
+    def __copy__(self) -> "_DontCare":
+        return self
+
+    def __reduce__(self):
+        return (_DontCare, ())
+
+
+DONT_CARE = _DontCare()
+
+
+class PropertyType(enum.Enum):
+    """Declared type of a descriptor property.
+
+    The enumeration mirrors the kinds of annotations appearing in Table 2
+    of the paper.  ``COST`` is special: P2V classifies every ``COST``-typed
+    property as a Volcano cost property.  All other types exist for
+    validation and readable specifications only.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STRING = "string"
+    ORDER = "order"            # a tuple order: attribute name or DONT_CARE
+    PREDICATE = "predicate"    # a selection or join predicate
+    ATTRS = "attrs"            # a list/tuple of attribute names
+    COST = "cost"              # an estimated cost (classified as cost by P2V)
+    ANY = "any"                # escape hatch: unchecked
+
+    def check(self, value: Any) -> bool:
+        """Return True if ``value`` is acceptable for this property type.
+
+        ``DONT_CARE`` and ``None`` are acceptable for every type (a
+        property may simply not apply to a node).
+        """
+        if value is DONT_CARE or value is None:
+            return True
+        if self is PropertyType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is PropertyType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is PropertyType.BOOL:
+            return isinstance(value, bool)
+        if self is PropertyType.STRING:
+            return isinstance(value, str)
+        if self is PropertyType.ORDER:
+            return isinstance(value, (str, tuple))
+        if self is PropertyType.PREDICATE:
+            # Predicates are represented by arbitrary hashable objects
+            # (see repro.catalog.predicates); accept anything non-callable.
+            return True
+        if self is PropertyType.ATTRS:
+            return isinstance(value, (tuple, frozenset)) or isinstance(value, list)
+        if self is PropertyType.COST:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return True
+
+
+@dataclass(frozen=True)
+class PropertyDef:
+    """Declaration of a single descriptor property.
+
+    Parameters
+    ----------
+    name:
+        Identifier used to access the property (``D.tuple_order``).
+    type:
+        Declared :class:`PropertyType`.
+    default:
+        Initial value a fresh descriptor receives for this property.
+        Defaults to :data:`DONT_CARE`.
+    doc:
+        Human-readable description (appears in generated specifications).
+    """
+
+    name: str
+    type: PropertyType = PropertyType.ANY
+    default: Any = DONT_CARE
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise DescriptorError(
+                f"property name {self.name!r} is not a valid identifier"
+            )
+        if not self.type.check(self.default):
+            raise DescriptorError(
+                f"default {self.default!r} is not a valid {self.type.value} "
+                f"for property {self.name!r}"
+            )
+
+
+class DescriptorSchema:
+    """An ordered, named collection of :class:`PropertyDef` declarations.
+
+    One schema is shared by every descriptor of a rule set; Prairie's
+    "single descriptor structure" (paper Section 3.1) is modelled by all
+    nodes of an operator tree drawing their annotations from the same
+    schema.  The schema preserves declaration order so that generated
+    specifications and debug output are stable.
+    """
+
+    def __init__(self, properties: "list[PropertyDef] | None" = None) -> None:
+        self._defs: dict[str, PropertyDef] = {}
+        self._defaults_cache: "dict[str, Any] | None" = None
+        for prop in properties or []:
+            self.add(prop)
+
+    def add(self, prop: PropertyDef) -> PropertyDef:
+        """Register ``prop``; duplicate names are an error."""
+        if prop.name in self._defs:
+            raise DescriptorError(f"duplicate property {prop.name!r} in schema")
+        self._defs[prop.name] = prop
+        self._defaults_cache = None
+        return prop
+
+    def declare(
+        self,
+        name: str,
+        type: PropertyType = PropertyType.ANY,
+        default: Any = DONT_CARE,
+        doc: str = "",
+    ) -> PropertyDef:
+        """Convenience wrapper: build a :class:`PropertyDef` and add it."""
+        return self.add(PropertyDef(name, type, default, doc))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __getitem__(self, name: str) -> PropertyDef:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise DescriptorError(f"unknown property {name!r}") from None
+
+    def __iter__(self) -> Iterator[PropertyDef]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Property names in declaration order."""
+        return tuple(self._defs)
+
+    def defaults(self) -> dict[str, Any]:
+        """A fresh property→default-value mapping for a new descriptor.
+
+        The template is cached; descriptor construction is hot inside the
+        search engine (every rule application makes fresh descriptors).
+        """
+        if self._defaults_cache is None:
+            self._defaults_cache = {
+                name: p.default for name, p in self._defs.items()
+            }
+        return dict(self._defaults_cache)
+
+    def cost_properties(self) -> tuple[str, ...]:
+        """Names of all ``COST``-typed properties (used by P2V)."""
+        return tuple(
+            name for name, p in self._defs.items() if p.type is PropertyType.COST
+        )
+
+    def validate_value(self, name: str, value: Any) -> None:
+        """Raise :class:`DescriptorError` if ``value`` is ill-typed for ``name``."""
+        prop = self[name]
+        if not prop.type.check(value):
+            raise DescriptorError(
+                f"value {value!r} is not a valid {prop.type.value} for "
+                f"property {name!r}"
+            )
+
+    def subset(self, names: "tuple[str, ...] | list[str]") -> "DescriptorSchema":
+        """A new schema containing only the named properties, in schema order."""
+        wanted = set(names)
+        return DescriptorSchema([p for p in self if p.name in wanted])
+
+    def merged_with(self, other: "DescriptorSchema") -> "DescriptorSchema":
+        """A new schema with this schema's properties plus ``other``'s.
+
+        Properties present in both must have identical definitions.
+        """
+        merged = DescriptorSchema(list(self))
+        for prop in other:
+            if prop.name in merged:
+                if merged[prop.name] != prop:
+                    raise DescriptorError(
+                        f"conflicting definitions for property {prop.name!r}"
+                    )
+            else:
+                merged.add(prop)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"DescriptorSchema({list(self._defs)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DescriptorSchema):
+            return NotImplemented
+        return self._defs == other._defs
+
+    def __hash__(self) -> int:  # pragma: no cover - schemas are rarely hashed
+        return hash(tuple(self._defs.items()))

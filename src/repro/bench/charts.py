@@ -1,0 +1,120 @@
+"""ASCII charts for the figure benchmarks.
+
+The paper's Figures 10–14 are log-scale line plots; in a terminal-first
+reproduction the equivalent is a fixed-width scatter/line chart.  Pure
+stdlib: the benchmark reports stay greppable text files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+CHART_WIDTH = 60
+CHART_HEIGHT = 16
+MARKERS = "*o+x#@"
+
+
+def _nice_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def ascii_chart(
+    series: "dict[str, Sequence[tuple[float, float]]]",
+    title: str = "",
+    log_y: bool = True,
+    y_format=_nice_time,
+    x_label: str = "joins",
+) -> str:
+    """Render named (x, y) series as a character plot.
+
+    ``log_y`` mirrors the paper's log-scale time axes.  Each series gets
+    a marker; collisions show the later series' marker.  Returns a
+    multi-line string including a legend and axis annotations.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [x for x, _y in points]
+    ys = [max(y, 1e-12) for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+
+    def x_pos(x: float) -> int:
+        if x_max == x_min:
+            return 0
+        return round((x - x_min) / (x_max - x_min) * (CHART_WIDTH - 1))
+
+    def y_pos(y: float) -> int:
+        y = max(y, 1e-12)
+        if log_y:
+            low, high = math.log10(y_min), math.log10(y_max)
+            value = math.log10(y)
+        else:
+            low, high = y_min, y_max
+            value = y
+        if high == low:
+            return 0
+        return round((value - low) / (high - low) * (CHART_HEIGHT - 1))
+
+    grid = [[" "] * CHART_WIDTH for _ in range(CHART_HEIGHT)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in values:
+            row = CHART_HEIGHT - 1 - y_pos(y)
+            grid[row][x_pos(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_format(y_max)
+    bottom_label = y_format(y_min)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == CHART_HEIGHT - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = "-" * CHART_WIDTH
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_axis = f"{x_min:g}".ljust(CHART_WIDTH - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(f"{' ' * label_width}  {x_axis}  ({x_label})")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_query_points(title: str, points_by_name: dict) -> str:
+    """Chart :class:`~repro.bench.harness.QueryPoint` curves (time vs joins)."""
+    series = {}
+    for name, points in points_by_name.items():
+        series[f"{name} Prairie"] = [
+            (p.n_joins, p.prairie_seconds) for p in points
+        ]
+        series[f"{name} Volcano"] = [
+            (p.n_joins, p.volcano_seconds) for p in points
+        ]
+    return ascii_chart(series, title=title, log_y=True)
+
+
+def chart_class_growth(title: str, counts_by_template: dict) -> str:
+    """Chart Figure 14: equivalence classes vs joins, per template."""
+    series = {
+        template: [(n, float(groups)) for n, groups, *_ in counts]
+        for template, counts in counts_by_template.items()
+    }
+    return ascii_chart(
+        series,
+        title=title,
+        log_y=True,
+        y_format=lambda v: f"{v:.0f}",
+    )

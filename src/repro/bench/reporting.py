@@ -1,0 +1,59 @@
+"""Plain-text reporting for the benchmark suite.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report, in aligned fixed-width text so the output diffs cleanly
+between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.bench.harness import QueryPoint
+
+
+def format_table(
+    headers: "Sequence[str]", rows: "Iterable[Sequence[Any]]"
+) -> str:
+    """A fixed-width text table with a header rule."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled time rendering (µs → s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def print_series(title: str, points: "list[QueryPoint]") -> str:
+    """Render one Figure 10–13 curve: time vs joins, both provenances."""
+    rows = [
+        (
+            point.n_joins,
+            format_seconds(point.prairie_seconds),
+            format_seconds(point.volcano_seconds),
+            f"{point.overhead_percent:+.1f}%",
+            point.equivalence_classes,
+            point.mexprs,
+        )
+        for point in points
+    ]
+    table = format_table(
+        ("joins", "Prairie", "Volcano", "overhead", "eq.classes", "mexprs"),
+        rows,
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,55 @@
+"""Catalog substrate: stored files, predicates, statistics, synthetic data.
+
+The paper's optimizers consult *catalogs* containing "information about
+base classes that are used by the optimizer" (Section 4.1): attribute
+lists, cardinalities, tuple sizes, and available indices.  This package
+provides that catalog, a small predicate representation shared by rules,
+cost models and the execution engine, selectivity estimation, and a
+deterministic synthetic-data generator so access plans can actually be
+executed and cross-checked.
+"""
+
+from repro.catalog.predicates import (
+    AttrRef,
+    Comparison,
+    Conjunction,
+    Const,
+    Predicate,
+    TRUE,
+    attributes_of,
+    conjuncts,
+    conjoin,
+    equals_attr,
+    equals_const,
+    evaluate,
+)
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+from repro.catalog.statistics import (
+    comparison_selectivity,
+    join_selectivity,
+    selection_selectivity,
+)
+from repro.catalog.data import generate_rows, materialize_catalog
+
+__all__ = [
+    "AttrRef",
+    "Comparison",
+    "Conjunction",
+    "Const",
+    "Predicate",
+    "TRUE",
+    "attributes_of",
+    "conjuncts",
+    "conjoin",
+    "equals_attr",
+    "equals_const",
+    "evaluate",
+    "Catalog",
+    "IndexInfo",
+    "StoredFileInfo",
+    "comparison_selectivity",
+    "join_selectivity",
+    "selection_selectivity",
+    "generate_rows",
+    "materialize_catalog",
+]

@@ -1,0 +1,86 @@
+"""Deterministic synthetic data for stored files.
+
+The paper never executes plans (its experiments measure *optimization*
+time), but this reproduction includes an iterator execution engine, and
+the engine needs rows.  This module generates them reproducibly:
+
+* Plain attributes are uniform integers over a domain of size
+  ``cardinality * DISTINCT_FRACTION`` — exactly the assumption of the
+  selectivity model in :mod:`repro.catalog.statistics`, so estimated and
+  actual cardinalities track each other.
+* Reference attributes (chased by MAT) hold row identifiers of the
+  referenced file, valid by construction.
+* Set-valued attributes (flattened by UNNEST) hold small tuples of
+  integers.
+
+Generation is keyed on ``(file name, seed)`` so catalogs regenerate
+identically across processes, which the differential tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.catalog.schema import Catalog, StoredFileInfo
+from repro.catalog.statistics import DISTINCT_FRACTION
+from repro.errors import CatalogError
+
+ROW_ID_ATTR = "_rid"
+MAX_SET_SIZE = 4
+
+
+def _domain_size(cardinality: int) -> int:
+    return max(1, round(cardinality * DISTINCT_FRACTION))
+
+
+def generate_rows(
+    info: StoredFileInfo, catalog: Catalog, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Generate ``info.cardinality`` rows for one stored file.
+
+    Every row carries a hidden ``_rid`` attribute (its position), which is
+    what reference attributes of *other* files point at and what the
+    pointer-join / MAT iterators dereference.
+    """
+    rng = random.Random(f"{info.name}:{seed}")
+    domain = _domain_size(info.cardinality)
+    references = info.references
+    set_valued = set(info.set_valued_attrs)
+
+    rows: list[dict[str, Any]] = []
+    for rid in range(info.cardinality):
+        row: dict[str, Any] = {ROW_ID_ATTR: rid}
+        for attr in info.attributes:
+            if attr == info.identity_attr:
+                row[attr] = rid
+            elif attr in references:
+                target = catalog[references[attr]]
+                if target.cardinality == 0:
+                    raise CatalogError(
+                        f"{info.name}.{attr} references empty file {target.name}"
+                    )
+                row[attr] = rng.randrange(target.cardinality)
+            elif attr in set_valued:
+                size = rng.randint(0, MAX_SET_SIZE)
+                row[attr] = tuple(rng.randrange(domain) for _ in range(size))
+            else:
+                row[attr] = rng.randrange(domain)
+        rows.append(row)
+    return rows
+
+
+def materialize_catalog(
+    catalog: Catalog, seed: int = 0
+) -> dict[str, list[dict[str, Any]]]:
+    """Rows for every file of the catalog, keyed by file name."""
+    return {info.name: generate_rows(info, catalog, seed) for info in catalog}
+
+
+def domain_constant(info: StoredFileInfo, ordinal: int = 0) -> int:
+    """A constant guaranteed to lie inside an attribute's value domain.
+
+    Execution tests use this to build selection predicates that actually
+    select something (``attr = domain_constant(info)``).
+    """
+    return ordinal % _domain_size(info.cardinality)

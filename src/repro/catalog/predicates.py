@@ -1,0 +1,201 @@
+"""Predicate terms shared by rules, cost estimation, and execution.
+
+The paper's experiments use only conjunctions of equality predicates
+(Section 4.3): selections of the form ``attr = const`` and join predicates
+of the form ``left_attr = right_attr``.  This module supports those plus
+the other comparison operators so the library generalizes, while keeping
+predicates hashable (they live inside descriptors, which the memo table
+hashes) and introspectable (rules ask "which attributes does this predicate
+mention?" to decide pushdown applicability and index usability).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Union
+
+from repro.errors import AlgebraError
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to a named attribute of the input stream(s)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant value."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[AttrRef, Const]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An atomic comparison ``left op right``.
+
+    ``left`` and ``right`` are attribute references or constants; ``op``
+    is one of ``= != < <= > >=``.
+    """
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise AlgebraError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    @property
+    def is_equijoin(self) -> bool:
+        """True for ``attr = attr`` comparisons (usable as join predicates)."""
+        return (
+            self.op == "="
+            and isinstance(self.left, AttrRef)
+            and isinstance(self.right, AttrRef)
+        )
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of atomic comparisons.
+
+    Kept flat (no nested conjunctions) and ordered as given; an empty
+    conjunction is the constant TRUE.
+    """
+
+    terms: tuple[Comparison, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "TRUE"
+        return " AND ".join(str(t) for t in self.terms)
+
+    def __bool__(self) -> bool:
+        return bool(self.terms)
+
+
+Predicate = Union[Comparison, Conjunction]
+
+TRUE = Conjunction(())
+
+
+def conjuncts(pred: "Predicate | None") -> tuple[Comparison, ...]:
+    """The atomic comparisons of a predicate, as a flat tuple."""
+    if pred is None:
+        return ()
+    if isinstance(pred, Comparison):
+        return (pred,)
+    if isinstance(pred, Conjunction):
+        return pred.terms
+    raise AlgebraError(f"not a predicate: {pred!r}")
+
+
+def conjoin(*preds: "Predicate | None") -> Predicate:
+    """The conjunction of all given predicates (flattened).
+
+    Returns a bare :class:`Comparison` when exactly one atom remains,
+    otherwise a :class:`Conjunction` (possibly TRUE).
+    """
+    atoms: list[Comparison] = []
+    for pred in preds:
+        atoms.extend(conjuncts(pred))
+    if len(atoms) == 1:
+        return atoms[0]
+    return Conjunction(tuple(atoms))
+
+
+def attributes_of(pred: "Predicate | None") -> frozenset[str]:
+    """All attribute names referenced anywhere in the predicate."""
+    names: set[str] = set()
+    for atom in conjuncts(pred):
+        for term in (atom.left, atom.right):
+            if isinstance(term, AttrRef):
+                names.add(term.name)
+    return frozenset(names)
+
+
+def _term_value(term: Term, row: Mapping[str, Any]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    try:
+        return row[term.name]
+    except KeyError:
+        raise AlgebraError(
+            f"row has no attribute {term.name!r}: {sorted(row)}"
+        ) from None
+
+
+def evaluate(pred: "Predicate | None", row: Mapping[str, Any]) -> bool:
+    """Evaluate a predicate against a row (attribute→value mapping)."""
+    for atom in conjuncts(pred):
+        fn = _COMPARATORS[atom.op]
+        if not fn(_term_value(atom.left, row), _term_value(atom.right, row)):
+            return False
+    return True
+
+
+def split_by_attributes(
+    pred: "Predicate | None", available: Iterable[str]
+) -> tuple[Predicate, Predicate]:
+    """Split a conjunction into (applicable, remainder) given attributes.
+
+    A conjunct is *applicable* when every attribute it references is in
+    ``available``.  Used by selection-pushdown rules: the applicable part
+    moves below an operator, the remainder stays above.
+    """
+    avail = frozenset(available)
+    inside: list[Comparison] = []
+    outside: list[Comparison] = []
+    for atom in conjuncts(pred):
+        if attributes_of(atom) <= avail:
+            inside.append(atom)
+        else:
+            outside.append(atom)
+    return conjoin(*inside), conjoin(*outside)
+
+
+def equals_const(attr: str, value: Any) -> Comparison:
+    """Shorthand for the selection predicate ``attr = value``."""
+    return Comparison(AttrRef(attr), "=", Const(value))
+
+
+def equals_attr(left: str, right: str) -> Comparison:
+    """Shorthand for the equi-join predicate ``left = right``."""
+    return Comparison(AttrRef(left), "=", AttrRef(right))
+
+
+def equality_pairs(pred: "Predicate | None") -> tuple[tuple[str, str], ...]:
+    """The (left_attr, right_attr) pairs of all equi-join conjuncts."""
+    pairs = []
+    for atom in conjuncts(pred):
+        if atom.is_equijoin:
+            pairs.append((atom.left.name, atom.right.name))  # type: ignore[union-attr]
+    return tuple(pairs)

@@ -1,0 +1,238 @@
+"""Command-line interface: ``prairie-opt``.
+
+Four subcommands, mirroring how a downstream user exercises the library:
+
+* ``info`` — the bundled rule sets and what P2V derives from them;
+* ``validate SPEC`` — parse and validate a Prairie specification file;
+* ``translate SPEC`` — run P2V and emit the generated Volcano
+  specification (or the normalized Prairie spec with ``--emit prairie``);
+* ``optimize`` — optimize one of the paper's benchmark queries with a
+  chosen engine and print the EXPLAIN output.
+
+Installed as a console script by ``pip install``; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import PrairieError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prairie-opt",
+        description="Prairie rule-specification framework (ICDE 1995 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the bundled rule sets")
+
+    validate = sub.add_parser("validate", help="validate a Prairie spec file")
+    validate.add_argument("spec", help="path to a Prairie specification")
+
+    translate_cmd = sub.add_parser(
+        "translate", help="run P2V over a Prairie spec file"
+    )
+    translate_cmd.add_argument("spec", help="path to a Prairie specification")
+    translate_cmd.add_argument(
+        "--emit",
+        choices=("volcano", "prairie", "summary"),
+        default="summary",
+        help="what to print: the generated Volcano spec, the normalized "
+        "Prairie spec, or a summary (default)",
+    )
+    translate_cmd.add_argument(
+        "--name", default="cli", help="rule-set name for reports"
+    )
+
+    optimize = sub.add_parser(
+        "optimize", help="optimize a benchmark query and print EXPLAIN"
+    )
+    optimize.add_argument(
+        "--ruleset",
+        choices=("oodb", "relational"),
+        default="oodb",
+        help="which bundled optimizer to use",
+    )
+    optimize.add_argument(
+        "--query",
+        default="Q5",
+        help="query family Q1..Q8 (Table 5 of the paper)",
+    )
+    optimize.add_argument("--joins", type=int, default=2, help="number of joins")
+    optimize.add_argument(
+        "--instance", type=int, default=0, help="cardinality variation"
+    )
+    optimize.add_argument(
+        "--engine",
+        choices=("topdown", "bottomup"),
+        default="topdown",
+        help="search strategy",
+    )
+    optimize.add_argument(
+        "--hand-coded",
+        action="store_true",
+        help="use the hand-coded Volcano rule set instead of the "
+        "P2V-generated one",
+    )
+    optimize.add_argument(
+        "--max-groups",
+        type=int,
+        default=None,
+        help="heuristic: stop deriving alternatives past this many "
+        "equivalence classes",
+    )
+    optimize.add_argument(
+        "--disable-rule",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="heuristic: never fire the named rule (repeatable)",
+    )
+    optimize.add_argument(
+        "--memo", action="store_true", help="also dump the memo contents"
+    )
+    optimize.add_argument(
+        "--quiet", action="store_true", help="suppress search statistics"
+    )
+    return parser
+
+
+def _cmd_info(out) -> int:
+    from repro.bench.harness import build_optimizer_pair
+
+    for kind in ("relational", "oodb"):
+        pair = build_optimizer_pair(kind)
+        analysis = pair.translation.analysis
+        counts = pair.prairie.counts()
+        volcano_counts = pair.generated.counts()
+        out.write(f"{kind}\n")
+        out.write(
+            f"  Prairie : {counts['operators']} operators, "
+            f"{counts['algorithms']} algorithms, "
+            f"{counts['t_rules']} T-rules, {counts['i_rules']} I-rules\n"
+        )
+        out.write(
+            f"  Volcano : {volcano_counts['trans_rules']} trans_rules, "
+            f"{volcano_counts['impl_rules']} impl_rules, "
+            f"{volcano_counts['enforcers']} enforcer(s)\n"
+        )
+        out.write(
+            f"  P2V     : enforcer-operators {analysis.enforcer_operators}, "
+            f"physical {analysis.physical_properties}, "
+            f"cost {analysis.cost_property!r}\n"
+        )
+    return 0
+
+
+def _load_spec(path: str):
+    from repro.optimizers.helpers import domain_helpers
+    from repro.prairie.dsl import compile_spec
+
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return compile_spec(source, name=path, helpers=domain_helpers())
+
+
+def _cmd_validate(args, out) -> int:
+    ruleset = _load_spec(args.spec)
+    counts = ruleset.counts()
+    out.write(
+        f"OK: {counts['operators']} operators, {counts['algorithms']} "
+        f"algorithms, {counts['t_rules']} T-rules, {counts['i_rules']} "
+        f"I-rules\n"
+    )
+    return 0
+
+
+def _cmd_translate(args, out) -> int:
+    from repro.prairie.codegen import (
+        format_prairie_spec,
+        format_volcano_spec,
+        spec_line_count,
+    )
+    from repro.prairie.translate import translate
+
+    ruleset = _load_spec(args.spec)
+    result = translate(ruleset)
+    if args.emit == "volcano":
+        out.write(format_volcano_spec(result) + "\n")
+    elif args.emit == "prairie":
+        out.write(format_prairie_spec(ruleset) + "\n")
+    else:
+        volcano = result.volcano
+        out.write(f"{volcano!r}\n")
+        for line in result.report.lines():
+            out.write(f"  merge: {line}\n")
+        out.write(
+            f"  classification: physical={result.analysis.physical_properties} "
+            f"cost={result.analysis.cost_property!r}\n"
+        )
+        generated = format_volcano_spec(result)
+        out.write(
+            f"  sizes: prairie={spec_line_count(format_prairie_spec(ruleset))} "
+            f"generated-volcano={spec_line_count(generated)} lines\n"
+        )
+    return 0
+
+
+def _cmd_optimize(args, out) -> int:
+    from repro.bench.harness import build_optimizer_pair
+    from repro.volcano.bottomup import BottomUpOptimizer
+    from repro.volcano.explain import explain, explain_memo
+    from repro.volcano.search import SearchOptions, VolcanoOptimizer
+    from repro.workloads import make_query_instance
+
+    pair = build_optimizer_pair(args.ruleset)
+    ruleset = pair.hand_coded if args.hand_coded else pair.generated
+    catalog, tree = make_query_instance(
+        pair.schema, args.query, args.joins, args.instance
+    )
+    options = SearchOptions(
+        disabled_rules=frozenset(args.disable_rule),
+        max_groups=args.max_groups,
+    )
+    if args.engine == "bottomup":
+        optimizer = BottomUpOptimizer(ruleset, catalog)
+        optimizer.options = options
+    else:
+        optimizer = VolcanoOptimizer(ruleset, catalog, options=options)
+    result = optimizer.optimize(tree)
+    out.write(explain(result, verbose=not args.quiet) + "\n")
+    if args.memo:
+        out.write("\nmemo:\n" + explain_memo(result) + "\n")
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info(out)
+        if args.command == "validate":
+            return _cmd_validate(args, out)
+        if args.command == "translate":
+            return _cmd_translate(args, out)
+        if args.command == "optimize":
+            return _cmd_optimize(args, out)
+    except PrairieError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

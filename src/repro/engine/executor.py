@@ -1,0 +1,279 @@
+"""Executing access plans and reference-evaluating logical trees.
+
+:class:`Database` couples a catalog with deterministically generated
+rows.  :func:`execute_plan` lowers an access plan — an operator tree
+whose interior nodes are algorithms — onto the iterator classes of
+:mod:`repro.engine.iterators`, wiring each iterator's parameters from
+the plan node descriptors (the *operator/algorithm arguments* the
+optimizer computed).  :func:`naive_evaluate` is the independent oracle:
+a direct, rule-free evaluation of a *logical* operator tree, against
+which every optimized plan must agree row-for-row.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable
+
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.properties import DONT_CARE
+from repro.catalog.data import ROW_ID_ATTR, materialize_catalog
+from repro.catalog.predicates import equality_pairs, evaluate
+from repro.catalog.schema import Catalog
+from repro.engine import iterators as it
+from repro.errors import ExecutionError
+
+
+def _value(descriptor, name: str):
+    value = descriptor.get(name)
+    return None if value is DONT_CARE else value
+
+
+class Database:
+    """A catalog plus its generated rows, ready for execution.
+
+    Rows handed to scans have the internal ``_rid`` column stripped;
+    list position still equals the row id, which is what reference
+    attributes store and :class:`~repro.engine.iterators.MatDeref`
+    dereferences.
+    """
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = seed
+        raw = materialize_catalog(catalog, seed)
+        self._rows = {
+            name: [
+                {k: v for k, v in row.items() if k != ROW_ID_ATTR}
+                for row in rows
+            ]
+            for name, rows in raw.items()
+        }
+
+    def rows(self, file_name: str) -> "list[dict]":
+        try:
+            return self._rows[file_name]
+        except KeyError:
+            raise ExecutionError(f"no data for stored file {file_name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Access-plan execution
+# ---------------------------------------------------------------------------
+
+
+def build_iterator(plan: "Expression | StoredFileRef", db: Database) -> it.PlanIterator:
+    """Recursively lower an access plan to an iterator tree."""
+    if isinstance(plan, StoredFileRef):
+        # A bare leaf executes as an unfiltered scan (plans normally wrap
+        # leaves in a scan algorithm, but file groups can win on their own
+        # in degenerate rule sets).
+        return it.FileScan(db.rows(plan.name))
+
+    d = plan.descriptor
+    name = plan.op.name
+
+    if name == "File_scan":
+        leaf = plan.inputs[0]
+        assert isinstance(leaf, StoredFileRef)
+        return it.FileScan(db.rows(leaf.name), _value(d, "selection_predicate"))
+
+    if name == "Index_scan":
+        leaf = plan.inputs[0]
+        assert isinstance(leaf, StoredFileRef)
+        index_attr = _value(d, "tuple_order")
+        if index_attr is None:
+            raise ExecutionError("Index_scan plan without an index order")
+        return it.IndexScan(
+            db.rows(leaf.name), index_attr, _value(d, "selection_predicate")
+        )
+
+    if name == "Filter":
+        child = build_iterator(plan.inputs[0], db)
+        return it.Filter(child, _value(d, "selection_predicate"))
+
+    if name == "Projection":
+        child = build_iterator(plan.inputs[0], db)
+        attrs = _value(d, "projected_attributes")
+        if attrs is None:
+            raise ExecutionError("Projection plan without projected attributes")
+        return it.Projection(child, tuple(attrs))
+
+    if name == "Nested_loops":
+        outer = build_iterator(plan.inputs[0], db)
+        inner = build_iterator(plan.inputs[1], db)
+        return it.NestedLoops(outer, inner, _value(d, "join_predicate"))
+
+    if name == "Hash_join":
+        outer = build_iterator(plan.inputs[0], db)
+        inner = build_iterator(plan.inputs[1], db)
+        outer_attrs = tuple(plan.inputs[0].descriptor["attributes"])
+        return it.HashJoin(
+            outer, inner, _value(d, "join_predicate"), outer_attrs
+        )
+
+    if name == "Merge_join":
+        outer = build_iterator(plan.inputs[0], db)
+        inner = build_iterator(plan.inputs[1], db)
+        predicate = _value(d, "join_predicate")
+        from repro.optimizers.helpers import sort_attr
+
+        outer_attr = sort_attr(predicate, plan.inputs[0].descriptor["attributes"])
+        inner_attr = sort_attr(predicate, plan.inputs[1].descriptor["attributes"])
+        if outer_attr is DONT_CARE or inner_attr is DONT_CARE:
+            raise ExecutionError("Merge_join plan without equi-join attributes")
+        return it.MergeJoin(outer, inner, outer_attr, inner_attr, predicate)
+
+    if name == "Pointer_join":
+        outer = build_iterator(plan.inputs[0], db)
+        inner = build_iterator(plan.inputs[1], db)
+        predicate = _value(d, "join_predicate")
+        pair = _pointer_pair(
+            db.catalog,
+            predicate,
+            tuple(plan.inputs[0].descriptor["attributes"]),
+            tuple(plan.inputs[1].descriptor["attributes"]),
+        )
+        if pair is None:
+            raise ExecutionError("Pointer_join plan without a reference pair")
+        ref_attr, identity_attr = pair
+        return it.PointerJoin(outer, inner, ref_attr, identity_attr, predicate)
+
+    if name == "Mat_deref":
+        child = build_iterator(plan.inputs[0], db)
+        attr = _value(d, "mat_attribute")
+        if attr is None:
+            raise ExecutionError("Mat_deref plan without a reference attribute")
+        owner = db.catalog.file_of_attribute(attr)
+        target = db.catalog[owner.references[attr]]
+        return it.MatDeref(child, attr, db.rows(target.name), target.attributes)
+
+    if name == "Unnest_scan":
+        child = build_iterator(plan.inputs[0], db)
+        attr = _value(d, "unnest_attribute")
+        if attr is None:
+            raise ExecutionError("Unnest_scan plan without a set attribute")
+        return it.UnnestScan(child, attr)
+
+    if name == "Merge_sort":
+        child = build_iterator(plan.inputs[0], db)
+        order = _value(d, "tuple_order")
+        if order is None:
+            raise ExecutionError("Merge_sort plan without a sort order")
+        return it.MergeSort(child, order)
+
+    raise ExecutionError(f"no iterator implementation for algorithm {name!r}")
+
+
+def _pointer_pair(catalog, predicate, outer_attrs, inner_attrs):
+    """(reference attr, identity attr) pair a pointer join dereferences."""
+    outer = set(outer_attrs)
+    inner = set(inner_attrs)
+    for left, right in equality_pairs(predicate):
+        for ref, ident in ((left, right), (right, left)):
+            if ref not in outer or ident not in inner:
+                continue
+            try:
+                owner = catalog.file_of_attribute(ref)
+            except Exception:  # noqa: BLE001 - unknown attr → not a reference
+                continue
+            target_name = owner.references.get(ref)
+            if target_name is None:
+                continue
+            if catalog[target_name].identity_attr == ident:
+                return ref, ident
+    return None
+
+
+def execute_plan(plan: "Expression | StoredFileRef", db: Database) -> "list[dict]":
+    """Run an access plan to completion; returns the result rows."""
+    return build_iterator(plan, db).drain()
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluation of logical trees
+# ---------------------------------------------------------------------------
+
+
+def naive_evaluate(tree: "Expression | StoredFileRef", db: Database) -> "list[dict]":
+    """Directly evaluate a *logical* operator tree (the test oracle).
+
+    Implements each abstract operator in the most obvious way possible,
+    independent of any rule or cost consideration.
+    """
+    if isinstance(tree, StoredFileRef):
+        return [dict(r) for r in db.rows(tree.name)]
+
+    d = tree.descriptor
+    name = tree.op.name
+
+    if name == "RET":
+        leaf = tree.inputs[0]
+        assert isinstance(leaf, StoredFileRef)
+        predicate = _value(d, "selection_predicate")
+        rows = db.rows(leaf.name)
+        if predicate is None:
+            return [dict(r) for r in rows]
+        return [dict(r) for r in rows if evaluate(predicate, r)]
+
+    if name == "SELECT":
+        rows = naive_evaluate(tree.inputs[0], db)
+        predicate = _value(d, "selection_predicate")
+        if predicate is None:
+            return rows
+        return [r for r in rows if evaluate(predicate, r)]
+
+    if name == "PROJECT":
+        rows = naive_evaluate(tree.inputs[0], db)
+        attrs = tuple(_value(d, "projected_attributes") or ())
+        return [{a: r[a] for a in attrs} for r in rows]
+
+    if name == "JOIN":
+        left = naive_evaluate(tree.inputs[0], db)
+        right = naive_evaluate(tree.inputs[1], db)
+        predicate = _value(d, "join_predicate")
+        out = []
+        for lrow in left:
+            for rrow in right:
+                joined = {**lrow, **rrow}
+                if predicate is None or evaluate(predicate, joined):
+                    out.append(joined)
+        return out
+
+    if name == "MAT":
+        rows = naive_evaluate(tree.inputs[0], db)
+        attr = _value(d, "mat_attribute")
+        owner = db.catalog.file_of_attribute(attr)
+        target = db.catalog[owner.references[attr]]
+        target_rows = db.rows(target.name)
+        out = []
+        for row in rows:
+            merged = dict(row)
+            fetched = target_rows[row[attr]]
+            for a in target.attributes:
+                merged[a] = fetched[a]
+            out.append(merged)
+        return out
+
+    if name == "UNNEST":
+        rows = naive_evaluate(tree.inputs[0], db)
+        attr = _value(d, "unnest_attribute")
+        out = []
+        for row in rows:
+            for value in row[attr]:
+                out.append({**row, attr: value})
+        return out
+
+    if name == "SORT":
+        rows = naive_evaluate(tree.inputs[0], db)
+        order = _value(d, "tuple_order")
+        if order is None:
+            return rows
+        return sorted(rows, key=lambda r: r[order])
+
+    raise ExecutionError(f"no reference evaluation for operator {name!r}")
+
+
+def rows_multiset(rows: "Iterable[dict]") -> Counter:
+    """A hashable multiset of rows, for order-insensitive comparison."""
+    return Counter(frozenset(row.items()) for row in rows)

@@ -1,0 +1,521 @@
+"""Iterator implementations of the rule sets' algorithms.
+
+Rows are plain dictionaries (attribute → value); streams are Python
+iterators of rows.  Each class implements the Volcano iterator
+discipline explicitly — ``open()`` prepares state, ``next_row()``
+produces one row or raises :class:`StopIteration`, ``close()`` releases
+state — and also supports the Python iterator protocol for convenience.
+
+The iterators are deliberately simple (all in-memory): their purpose is
+to make plans executable and semantically checkable, not to be fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.catalog.predicates import (
+    Predicate,
+    attributes_of,
+    conjuncts,
+    equality_pairs,
+    evaluate,
+)
+from repro.errors import ExecutionError
+
+Row = dict
+
+
+class PlanIterator:
+    """Base class: Volcano-style open/next/close over rows."""
+
+    def __init__(self) -> None:
+        self._opened = False
+
+    def open(self) -> None:
+        if self._opened:
+            raise ExecutionError(f"{type(self).__name__} opened twice")
+        self._opened = True
+
+    def next_row(self) -> Row:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._opened = False
+
+    # -- Python iterator protocol -----------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        return self
+
+    def __next__(self) -> Row:
+        return self.next_row()
+
+    def drain(self) -> list[Row]:
+        """open → exhaust → close; the common way tests consume a plan."""
+        self.open()
+        try:
+            return list(self)
+        finally:
+            self.close()
+
+
+class FileScan(PlanIterator):
+    """Sequential scan of a stored file with an optional residual filter.
+
+    Implements ``File_scan``: reads every row, applies the RET node's
+    selection predicate.
+    """
+
+    def __init__(self, rows: "list[Row]", predicate: "Predicate | None" = None) -> None:
+        super().__init__()
+        self.rows = rows
+        self.predicate = predicate
+        self._pos = 0
+
+    def open(self) -> None:
+        super().open()
+        self._pos = 0
+
+    def next_row(self) -> Row:
+        while self._pos < len(self.rows):
+            row = self.rows[self._pos]
+            self._pos += 1
+            if self.predicate is None or evaluate(self.predicate, row):
+                return dict(row)
+        raise StopIteration
+
+
+class IndexScan(PlanIterator):
+    """Index scan: equality lookup through an index, sorted output.
+
+    Implements ``Index_scan`` in both of its I-rules: rows matching the
+    indexed conjunct are located via a (simulated) index — a hash of the
+    indexed attribute — the residual predicate filters them, and output
+    is produced in index (attribute) order, which is the order the rule
+    advertises.
+    """
+
+    def __init__(
+        self,
+        rows: "list[Row]",
+        index_attr: str,
+        predicate: "Predicate | None" = None,
+    ) -> None:
+        super().__init__()
+        self.rows = rows
+        self.index_attr = index_attr
+        self.predicate = predicate
+        self._matches: "list[Row]" = []
+        self._pos = 0
+
+    def open(self) -> None:
+        super().open()
+        ordered = sorted(self.rows, key=lambda r: r[self.index_attr])
+        if self.predicate is None:
+            self._matches = [dict(r) for r in ordered]
+        else:
+            self._matches = [
+                dict(r) for r in ordered if evaluate(self.predicate, r)
+            ]
+        self._pos = 0
+
+    def next_row(self) -> Row:
+        if self._pos >= len(self._matches):
+            raise StopIteration
+        row = self._matches[self._pos]
+        self._pos += 1
+        return row
+
+
+class Filter(PlanIterator):
+    """Streaming selection (the ``Filter`` algorithm)."""
+
+    def __init__(self, child: PlanIterator, predicate: "Predicate | None") -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next_row(self) -> Row:
+        while True:
+            row = self.child.next_row()
+            if self.predicate is None or evaluate(self.predicate, row):
+                return row
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+
+class Projection(PlanIterator):
+    """Streaming projection (the ``Projection`` algorithm)."""
+
+    def __init__(self, child: PlanIterator, attributes: "tuple[str, ...]") -> None:
+        super().__init__()
+        self.child = child
+        self.attributes = tuple(attributes)
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next_row(self) -> Row:
+        row = self.child.next_row()
+        try:
+            return {a: row[a] for a in self.attributes}
+        except KeyError as exc:
+            raise ExecutionError(f"projection of missing attribute {exc}") from exc
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+
+class NestedLoops(PlanIterator):
+    """Nested-loops join (the ``Nested_loops`` algorithm).
+
+    The inner input is materialized once and re-scanned per outer row —
+    the execution analogue of the cost formula ``outer_cost +
+    outer_records × inner_cost``.
+    """
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        predicate: "Predicate | None",
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self._inner_rows: "list[Row]" = []
+        self._outer_row: "Row | None" = None
+        self._inner_pos = 0
+
+    def open(self) -> None:
+        super().open()
+        self.outer.open()
+        self.inner.open()
+        self._inner_rows = list(self.inner)
+        self._outer_row = None
+        self._inner_pos = 0
+
+    def next_row(self) -> Row:
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self.outer.next_row()  # may StopIteration
+                self._inner_pos = 0
+            while self._inner_pos < len(self._inner_rows):
+                inner_row = self._inner_rows[self._inner_pos]
+                self._inner_pos += 1
+                joined = {**self._outer_row, **inner_row}
+                if self.predicate is None or evaluate(self.predicate, joined):
+                    return joined
+            self._outer_row = None
+
+    def close(self) -> None:
+        self.outer.close()
+        self.inner.close()
+        super().close()
+
+
+class HashJoin(PlanIterator):
+    """Hash join on the equi-join conjuncts (the ``Hash_join`` algorithm).
+
+    Builds on the inner input, probes with the outer; non-equi residual
+    conjuncts are applied after the probe.
+    """
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        predicate: "Predicate | None",
+        outer_attrs: "tuple[str, ...]",
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        outer_set = set(outer_attrs)
+        keys: list[tuple[str, str]] = []  # (outer attr, inner attr)
+        for left, right in equality_pairs(predicate):
+            if left in outer_set:
+                keys.append((left, right))
+            else:
+                keys.append((right, left))
+        if not keys:
+            raise ExecutionError("hash join needs at least one equi-join pair")
+        self._keys = keys
+        self._table: dict = {}
+        self._pending: "list[Row]" = []
+
+    def open(self) -> None:
+        super().open()
+        self.outer.open()
+        self.inner.open()
+        self._table = {}
+        for row in self.inner:
+            key = tuple(row[attr] for _o, attr in self._keys)
+            self._table.setdefault(key, []).append(row)
+        self._pending = []
+
+    def next_row(self) -> Row:
+        while True:
+            if self._pending:
+                return self._pending.pop()
+            outer_row = self.outer.next_row()  # may StopIteration
+            key = tuple(outer_row[attr] for attr, _i in self._keys)
+            for inner_row in self._table.get(key, ()):
+                joined = {**outer_row, **inner_row}
+                if self.predicate is None or evaluate(self.predicate, joined):
+                    self._pending.append(joined)
+
+    def close(self) -> None:
+        self.outer.close()
+        self.inner.close()
+        super().close()
+
+
+class MergeJoin(PlanIterator):
+    """Sort-merge join (the ``Merge_join`` algorithm).
+
+    Assumes both inputs arrive sorted on their respective join attributes
+    (the optimizer's property machinery guarantees this); handles
+    duplicate keys by buffering the current inner run.
+    """
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        outer_attr: str,
+        inner_attr: str,
+        predicate: "Predicate | None" = None,
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.outer_attr = outer_attr
+        self.inner_attr = inner_attr
+        self.predicate = predicate
+        self._outer_rows: "list[Row]" = []
+        self._inner_rows: "list[Row]" = []
+        self._results: "Iterator[Row] | None" = None
+
+    def open(self) -> None:
+        super().open()
+        self.outer.open()
+        self.inner.open()
+        self._outer_rows = list(self.outer)
+        self._inner_rows = list(self.inner)
+        self._results = self._merge()
+
+    def _merge(self) -> Iterator[Row]:
+        i = j = 0
+        outer, inner = self._outer_rows, self._inner_rows
+        while i < len(outer) and j < len(inner):
+            ov = outer[i][self.outer_attr]
+            iv = inner[j][self.inner_attr]
+            if ov < iv:
+                i += 1
+            elif ov > iv:
+                j += 1
+            else:
+                # A run of equal keys on both sides: cross-match it.
+                i_end = i
+                while i_end < len(outer) and outer[i_end][self.outer_attr] == ov:
+                    i_end += 1
+                j_end = j
+                while j_end < len(inner) and inner[j_end][self.inner_attr] == iv:
+                    j_end += 1
+                for oi in range(i, i_end):
+                    for ji in range(j, j_end):
+                        joined = {**outer[oi], **inner[ji]}
+                        if self.predicate is None or evaluate(
+                            self.predicate, joined
+                        ):
+                            yield joined
+                i, j = i_end, j_end
+
+    def next_row(self) -> Row:
+        assert self._results is not None, "iterator not opened"
+        return next(self._results)
+
+    def close(self) -> None:
+        self.outer.close()
+        self.inner.close()
+        super().close()
+
+
+class PointerJoin(PlanIterator):
+    """Pointer join (the ``Pointer_join`` algorithm).
+
+    For each outer row, dereferences the reference attribute directly
+    into the inner class's extent via the target's identity attribute —
+    no scan of the inner stream per outer row.
+    """
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        ref_attr: str,
+        identity_attr: str,
+        predicate: "Predicate | None" = None,
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.ref_attr = ref_attr
+        self.identity_attr = identity_attr
+        self.predicate = predicate
+        self._by_identity: dict = {}
+        self._pending: "list[Row]" = []
+
+    def open(self) -> None:
+        super().open()
+        self.outer.open()
+        self.inner.open()
+        self._by_identity = {}
+        for row in self.inner:
+            self._by_identity.setdefault(row[self.identity_attr], []).append(row)
+        self._pending = []
+
+    def next_row(self) -> Row:
+        while True:
+            if self._pending:
+                return self._pending.pop()
+            outer_row = self.outer.next_row()  # may StopIteration
+            for inner_row in self._by_identity.get(outer_row[self.ref_attr], ()):
+                joined = {**outer_row, **inner_row}
+                if self.predicate is None or evaluate(self.predicate, joined):
+                    self._pending.append(joined)
+
+    def close(self) -> None:
+        self.outer.close()
+        self.inner.close()
+        super().close()
+
+
+class MatDeref(PlanIterator):
+    """Materialize (the ``Mat_deref`` algorithm).
+
+    For each input row, fetches the object its reference attribute points
+    at (by row id in the target extent) and merges the target's
+    attributes into the row — the "pointer-chasing operator" of the
+    paper's Section 4.3.
+    """
+
+    def __init__(
+        self,
+        child: PlanIterator,
+        attribute: str,
+        target_rows: "list[Row]",
+        target_attrs: "tuple[str, ...]",
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.attribute = attribute
+        self.target_rows = target_rows
+        self.target_attrs = tuple(target_attrs)
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next_row(self) -> Row:
+        row = self.child.next_row()
+        rid = row[self.attribute]
+        try:
+            target = self.target_rows[rid]
+        except (IndexError, TypeError) as exc:
+            raise ExecutionError(
+                f"dangling reference {self.attribute}={rid!r}"
+            ) from exc
+        merged = dict(row)
+        for attr in self.target_attrs:
+            merged[attr] = target[attr]
+        return merged
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+
+class UnnestScan(PlanIterator):
+    """Unnest (the ``Unnest_scan`` algorithm).
+
+    Flattens a set-valued attribute: one output row per element, with
+    the attribute rebound to the element.  Empty sets produce no rows.
+    """
+
+    def __init__(self, child: PlanIterator, attribute: str) -> None:
+        super().__init__()
+        self.child = child
+        self.attribute = attribute
+        self._pending: "list[Row]" = []
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._pending = []
+
+    def next_row(self) -> Row:
+        while not self._pending:
+            row = self.child.next_row()  # may StopIteration
+            values = row[self.attribute]
+            self._pending = [
+                {**row, self.attribute: value} for value in reversed(values)
+            ]
+        return self._pending.pop()
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+
+class MergeSort(PlanIterator):
+    """In-memory sort (the ``Merge_sort`` algorithm / sort enforcer)."""
+
+    def __init__(self, child: PlanIterator, order_attr: str) -> None:
+        super().__init__()
+        self.child = child
+        self.order_attr = order_attr
+        self._rows: "list[Row]" = []
+        self._pos = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._rows = sorted(self.child, key=lambda r: r[self.order_attr])
+        self._pos = 0
+
+    def next_row(self) -> Row:
+        if self._pos >= len(self._rows):
+            raise StopIteration
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+
+def is_sorted_on(rows: "Iterable[Mapping]", attribute: str) -> bool:
+    """Check a row sequence is non-decreasing on ``attribute`` (test util)."""
+    previous: Any = None
+    first = True
+    for row in rows:
+        value = row[attribute]
+        if not first and value < previous:
+            return False
+        previous = value
+        first = False
+    return True

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the Prairie reproduction library.
+
+Every error raised by this package derives from :class:`PrairieError`, so
+callers can catch a single base class.  Subclasses partition errors by the
+subsystem that detected them (the algebra, the DSL front end, the P2V
+translator, the Volcano search engine, the catalog, or the execution
+engine), which keeps ``except`` clauses precise in tests and applications.
+"""
+
+from __future__ import annotations
+
+
+class PrairieError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AlgebraError(PrairieError):
+    """An operator tree, descriptor, or database operation is malformed.
+
+    Raised, for example, when an expression is built with the wrong number
+    of essential parameters, or when an algorithm is declared to implement
+    an unknown operator.
+    """
+
+
+class DescriptorError(AlgebraError):
+    """A descriptor property is missing, duplicated, or ill-typed."""
+
+
+class RuleError(PrairieError):
+    """A Prairie T-rule or I-rule is structurally invalid.
+
+    Examples: a rule whose action assigns to a left-hand-side descriptor
+    (forbidden by the Prairie model, Section 2.3 of the paper), or a rule
+    mentioning an operator that was never declared first-class.
+    """
+
+
+class RuleSetError(PrairieError):
+    """A collection of rules violates a whole-rule-set invariant.
+
+    Examples: duplicate rule names, an algorithm with no implementing
+    I-rule, or a Null I-rule whose operator takes more than one stream.
+    """
+
+
+class DslError(PrairieError):
+    """Base class for errors in the textual Prairie specification language."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DslSyntaxError(DslError):
+    """The Prairie DSL source text could not be tokenized or parsed."""
+
+
+class DslNameError(DslError):
+    """The Prairie DSL source references an undeclared name."""
+
+
+class ActionError(PrairieError):
+    """Evaluation of a rule action or test failed at optimization time.
+
+    Wraps problems such as references to unset descriptor properties or a
+    helper function raising an exception.
+    """
+
+
+class TranslationError(PrairieError):
+    """The P2V pre-processor could not translate a Prairie rule set."""
+
+
+class SearchError(PrairieError):
+    """The Volcano search engine reached an inconsistent state.
+
+    Also raised when a query cannot be optimized at all (no implementation
+    rules apply to some operator, so no complete access plan exists).
+    """
+
+
+class NoPlanFoundError(SearchError):
+    """No access plan satisfies the requested physical properties."""
+
+
+class CatalogError(PrairieError):
+    """A stored file, index, or attribute lookup failed in the catalog."""
+
+
+class ExecutionError(PrairieError):
+    """An access plan could not be executed by the iterator engine."""

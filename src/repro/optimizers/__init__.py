@@ -1,0 +1,35 @@
+"""Concrete optimizer rule sets.
+
+Two optimizers, each in two provenances (the paper's methodology):
+
+* **Centralized relational** (Table 1 of the paper; the optimizer of the
+  paper's earlier workshop publication [5]):
+  :mod:`repro.optimizers.relational` (Prairie) and
+  :mod:`repro.optimizers.relational_volcano` (hand-coded Volcano).
+* **Open-OODB-scale object algebra** (paper Section 4.1): SELECT,
+  PROJECT, JOIN, RET, UNNEST, MAT (+ the SORT enforcer-operator);
+  :mod:`repro.optimizers.oodb` (Prairie, 22 T-rules + 11 I-rules) and
+  :mod:`repro.optimizers.oodb_volcano` (hand-coded Volcano, 17
+  trans_rules + 9 impl_rules + 1 enforcer).
+
+Shared pieces: :mod:`repro.optimizers.costmodel` (cost formulas),
+:mod:`repro.optimizers.helpers` (the helper functions rule actions call),
+:mod:`repro.optimizers.schema` (the descriptor schema of Table 2).
+"""
+
+from repro.optimizers.schema import make_schema, leaf_descriptor
+from repro.optimizers.relational import build_relational_prairie
+from repro.optimizers.relational_volcano import build_relational_volcano
+from repro.optimizers.relational_noncompact import build_relational_noncompact
+from repro.optimizers.oodb import build_oodb_prairie
+from repro.optimizers.oodb_volcano import build_oodb_volcano
+
+__all__ = [
+    "make_schema",
+    "leaf_descriptor",
+    "build_relational_prairie",
+    "build_relational_volcano",
+    "build_relational_noncompact",
+    "build_oodb_prairie",
+    "build_oodb_volcano",
+]

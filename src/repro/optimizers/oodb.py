@@ -1,0 +1,584 @@
+'''The Open-OODB-scale object-algebra optimizer, specified in Prairie.
+
+This reproduces the structure of the Texas Instruments Open OODB query
+optimizer rule set the paper converted to Prairie (Section 4.1–4.2):
+
+* the algebra of the paper's Section 4.3: five relational operators
+  SELECT, PROJECT, JOIN, RET, UNNEST plus the object-oriented MAT
+  (materialize — "fundamentally a pointer-chasing operator"), and the
+  SORT enforcer-operator;
+* 8 algorithms (File_scan, Index_scan, Filter, Projection, Hash_join,
+  Pointer_join, Mat_deref, Unnest_scan) plus the Merge_sort
+  enforcer-algorithm and Null;
+* **22 T-rules and 11 I-rules**, which P2V reduces to **17 trans_rules
+  and 9 impl_rules** (plus one enforcer) — the paper's Section 4.2
+  rule-count arithmetic.  The five extra T-rules are the
+  sort-introduction rules (one per non-enforcer stream operator plus
+  RET), which collapse to identities once SORT is deleted; the two extra
+  I-rules are SORT→Merge_sort (becomes the enforcer) and SORT→Null.
+
+Constraints the paper states, honoured here: PROJECT appears in no
+T-rule and exactly one I-rule; UNNEST appears in exactly one T-rule and
+one I-rule; the two join algorithms (pointer join and hash join) use no
+indices, so Figures 10–11's index-insensitivity falls out; RET's
+Index_scan appears in *two* I-rules with different property
+transformations (one driven by the selection predicate, one by a
+requested sort order) — exercising the paper's point that the per-rule
+approach is strictly more general than Volcano's per-algorithm approach.
+
+The rule set is written in the textual Prairie DSL; the spec string
+doubles as the "Prairie specification" whose size the Section 4.2
+productivity benchmark measures.
+'''
+
+from __future__ import annotations
+
+from repro.optimizers.helpers import domain_helpers
+from repro.prairie.dsl import compile_spec
+from repro.prairie.ruleset import PrairieRuleSet
+
+PRAIRIE_SPEC = """
+/* ===================================================================
+ * Prairie specification: Open-OODB-style object query optimizer.
+ *
+ * One flat descriptor (the paper's Table 2, extended for the object
+ * algebra); all operators and algorithms first-class; SORT is the
+ * (single) enforcer-operator by virtue of its Null I-rule.
+ * =================================================================== */
+
+property file_name            : string;
+property attributes           : attrs;
+property num_records          : float;
+property tuple_size           : float;
+property selection_predicate  : predicate;
+property join_predicate       : predicate;
+property projected_attributes : attrs;
+property mat_attribute        : string;
+property unnest_attribute     : string;
+property tuple_order          : order;
+property cost                 : cost;
+
+operator RET(file);
+operator SELECT(stream);
+operator PROJECT(stream);
+operator JOIN(stream, stream);
+operator UNNEST(stream);
+operator MAT(stream);
+operator SORT(stream);
+
+algorithm File_scan(file);
+algorithm Index_scan(file);
+algorithm Filter(stream);
+algorithm Projection(stream);
+algorithm Hash_join(stream, stream);
+algorithm Pointer_join(stream, stream);
+algorithm Mat_deref(stream);
+algorithm Unnest_scan(stream);
+algorithm Merge_sort(stream);
+algorithm Null(stream);
+
+helper union;           helper contains;
+helper conjoin_preds;   helper pred_within;     helper pred_remainder;
+helper pred_nonempty;   helper pred_mentions;   helper pred_conjunct_count;
+helper pred_first;      helper pred_rest;       helper has_equijoin;
+helper join_card;       helper filter_card;     helper unnest_card;
+helper scan_cost;       helper index_scan_cost; helper full_index_scan_cost;
+helper has_usable_index; helper index_order;    helper has_any_index;
+helper any_index_order; helper mat_attrs;       helper mat_size;
+helper is_pointer_joinable; helper log2;
+
+/* ===================================================================
+ * T-rules 1-2: join commutativity and associativity.
+ * =================================================================== */
+
+trule join_commute:
+    JOIN(?S1:DL1, ?S2:DL2):D1 => JOIN(?S2, ?S1):D2
+    {{ }}
+    ( TRUE )
+    {{
+        D2 = D1;
+        D2.attributes = union(DL2.attributes, DL1.attributes);
+    }}
+
+trule join_assoc:
+    JOIN(JOIN(?S1:DA, ?S2:DB):D1, ?S3:DC):D2
+        => JOIN(?S1, JOIN(?S2, ?S3):D3):D4
+    {{
+        D3.join_predicate =
+            pred_within(conjoin_preds(D1.join_predicate, D2.join_predicate),
+                        union(DB.attributes, DC.attributes));
+    }}
+    ( pred_nonempty(D3.join_predicate) &&
+      pred_nonempty(pred_remainder(
+          conjoin_preds(D1.join_predicate, D2.join_predicate),
+          union(DB.attributes, DC.attributes))) )
+    {{
+        D3.attributes  = union(DB.attributes, DC.attributes);
+        D3.num_records = join_card(DB.num_records, DC.num_records,
+                                   D3.join_predicate);
+        D3.tuple_size  = DB.tuple_size + DC.tuple_size;
+        D4 = D2;
+        D4.join_predicate =
+            pred_remainder(conjoin_preds(D1.join_predicate, D2.join_predicate),
+                           union(DB.attributes, DC.attributes));
+        D4.attributes = union(DA.attributes, D3.attributes);
+    }}
+
+/* ===================================================================
+ * T-rules 3-7: MAT (materialize) placement.
+ * MAT preserves cardinality and commutes with operators that do not
+ * consume the materialized attributes.
+ * =================================================================== */
+
+trule mat_push_join_left:
+    MAT(JOIN(?S1:DA, ?S2:DB):D1):D2 => JOIN(MAT(?S1):D3, ?S2):D4
+    {{ }}
+    ( contains(DA.attributes, D2.mat_attribute) )
+    {{
+        D3.mat_attribute = D2.mat_attribute;
+        D3.attributes    = union(DA.attributes, mat_attrs(D2.mat_attribute));
+        D3.num_records   = DA.num_records;
+        D3.tuple_size    = DA.tuple_size + mat_size(D2.mat_attribute);
+        D4 = D1;
+        D4.attributes    = union(D3.attributes, DB.attributes);
+        D4.num_records   = join_card(D3.num_records, DB.num_records,
+                                     D1.join_predicate);
+        D4.tuple_size    = D3.tuple_size + DB.tuple_size;
+    }}
+
+trule mat_push_join_right:
+    MAT(JOIN(?S1:DA, ?S2:DB):D1):D2 => JOIN(?S1, MAT(?S2):D3):D4
+    {{ }}
+    ( contains(DB.attributes, D2.mat_attribute) )
+    {{
+        D3.mat_attribute = D2.mat_attribute;
+        D3.attributes    = union(DB.attributes, mat_attrs(D2.mat_attribute));
+        D3.num_records   = DB.num_records;
+        D3.tuple_size    = DB.tuple_size + mat_size(D2.mat_attribute);
+        D4 = D1;
+        D4.attributes    = union(DA.attributes, D3.attributes);
+        D4.num_records   = join_card(DA.num_records, D3.num_records,
+                                     D1.join_predicate);
+        D4.tuple_size    = DA.tuple_size + D3.tuple_size;
+    }}
+
+trule mat_pull_join_left:
+    JOIN(MAT(?S1:DA):D1, ?S2:DB):D2 => MAT(JOIN(?S1, ?S2):D3):D4
+    {{ }}
+    ( !pred_nonempty(pred_remainder(D2.join_predicate,
+                                    union(DA.attributes, DB.attributes))) )
+    {{
+        D3.join_predicate = D2.join_predicate;
+        D3.attributes     = union(DA.attributes, DB.attributes);
+        D3.num_records    = join_card(DA.num_records, DB.num_records,
+                                      D2.join_predicate);
+        D3.tuple_size     = DA.tuple_size + DB.tuple_size;
+        D4 = D2;
+        D4.join_predicate = DONT_CARE;
+        D4.mat_attribute  = D1.mat_attribute;
+        D4.attributes     = union(D3.attributes, mat_attrs(D1.mat_attribute));
+        D4.num_records    = D3.num_records;
+        D4.tuple_size     = D3.tuple_size + mat_size(D1.mat_attribute);
+    }}
+
+trule mat_pull_join_right:
+    JOIN(?S1:DA, MAT(?S2:DB):D1):D2 => MAT(JOIN(?S1, ?S2):D3):D4
+    {{ }}
+    ( !pred_nonempty(pred_remainder(D2.join_predicate,
+                                    union(DA.attributes, DB.attributes))) )
+    {{
+        D3.join_predicate = D2.join_predicate;
+        D3.attributes     = union(DA.attributes, DB.attributes);
+        D3.num_records    = join_card(DA.num_records, DB.num_records,
+                                      D2.join_predicate);
+        D3.tuple_size     = DA.tuple_size + DB.tuple_size;
+        D4 = D2;
+        D4.join_predicate = DONT_CARE;
+        D4.mat_attribute  = D1.mat_attribute;
+        D4.attributes     = union(D3.attributes, mat_attrs(D1.mat_attribute));
+        D4.num_records    = D3.num_records;
+        D4.tuple_size     = D3.tuple_size + mat_size(D1.mat_attribute);
+    }}
+
+trule mat_mat_commute:
+    MAT(MAT(?S1:DA):D1):D2 => MAT(MAT(?S1):D3):D4
+    {{ }}
+    ( contains(DA.attributes, D2.mat_attribute) &&
+      D2.mat_attribute != D1.mat_attribute )
+    {{
+        D3.mat_attribute = D2.mat_attribute;
+        D3.attributes    = union(DA.attributes, mat_attrs(D2.mat_attribute));
+        D3.num_records   = DA.num_records;
+        D3.tuple_size    = DA.tuple_size + mat_size(D2.mat_attribute);
+        D4 = D2;
+        D4.mat_attribute = D1.mat_attribute;
+        D4.attributes    = union(D3.attributes, mat_attrs(D1.mat_attribute));
+        D4.tuple_size    = D3.tuple_size + mat_size(D1.mat_attribute);
+    }}
+
+/* ===================================================================
+ * T-rules 8-9: MAT vs SELECT.
+ * =================================================================== */
+
+trule mat_select_pull:
+    MAT(SELECT(?S1:DA):D1):D2 => SELECT(MAT(?S1):D3):D4
+    {{ }}
+    ( TRUE )
+    {{
+        D3.mat_attribute = D2.mat_attribute;
+        D3.attributes    = union(DA.attributes, mat_attrs(D2.mat_attribute));
+        D3.num_records   = DA.num_records;
+        D3.tuple_size    = DA.tuple_size + mat_size(D2.mat_attribute);
+        D4 = D2;
+        D4.mat_attribute       = DONT_CARE;
+        D4.selection_predicate = D1.selection_predicate;
+        D4.attributes          = D3.attributes;
+        D4.num_records         = filter_card(D3.num_records,
+                                             D1.selection_predicate);
+    }}
+
+trule select_mat_push:
+    SELECT(MAT(?S1:DA):D1):D2 => MAT(SELECT(?S1):D3):D4
+    {{ }}
+    ( pred_nonempty(D2.selection_predicate) &&
+      !pred_nonempty(pred_remainder(D2.selection_predicate, DA.attributes)) )
+    {{
+        D3.selection_predicate = D2.selection_predicate;
+        D3.attributes          = DA.attributes;
+        D3.num_records         = filter_card(DA.num_records,
+                                             D2.selection_predicate);
+        D3.tuple_size          = DA.tuple_size;
+        D4 = D1;
+        D4.num_records = D3.num_records;
+        D4.attributes  = union(D3.attributes, mat_attrs(D1.mat_attribute));
+    }}
+
+/* ===================================================================
+ * T-rules 10-16: SELECT placement.
+ * =================================================================== */
+
+trule select_split:
+    SELECT(?S1:DA):D1 => SELECT(SELECT(?S1):D2):D3
+    {{ }}
+    ( pred_conjunct_count(D1.selection_predicate) >= 2 )
+    {{
+        D2.selection_predicate = pred_rest(D1.selection_predicate);
+        D2.attributes          = DA.attributes;
+        D2.num_records         = filter_card(DA.num_records,
+                                             pred_rest(D1.selection_predicate));
+        D2.tuple_size          = DA.tuple_size;
+        D3 = D1;
+        D3.selection_predicate = pred_first(D1.selection_predicate);
+    }}
+
+trule select_merge:
+    SELECT(SELECT(?S1:DA):D1):D2 => SELECT(?S1):D3
+    {{ }}
+    ( TRUE )
+    {{
+        D3.selection_predicate = conjoin_preds(D1.selection_predicate,
+                                               D2.selection_predicate);
+        D3.attributes          = DA.attributes;
+        D3.num_records         = filter_card(DA.num_records,
+                                             conjoin_preds(D1.selection_predicate,
+                                                           D2.selection_predicate));
+        D3.tuple_size          = DA.tuple_size;
+    }}
+
+trule select_join_push_left:
+    SELECT(JOIN(?S1:DA, ?S2:DB):D1):D2 => JOIN(SELECT(?S1):D3, ?S2):D4
+    {{ }}
+    ( pred_nonempty(D2.selection_predicate) &&
+      !pred_nonempty(pred_remainder(D2.selection_predicate, DA.attributes)) )
+    {{
+        D3.selection_predicate = D2.selection_predicate;
+        D3.attributes          = DA.attributes;
+        D3.num_records         = filter_card(DA.num_records,
+                                             D2.selection_predicate);
+        D3.tuple_size          = DA.tuple_size;
+        D4 = D1;
+        D4.num_records = join_card(D3.num_records, DB.num_records,
+                                   D1.join_predicate);
+    }}
+
+trule select_join_push_right:
+    SELECT(JOIN(?S1:DA, ?S2:DB):D1):D2 => JOIN(?S1, SELECT(?S2):D3):D4
+    {{ }}
+    ( pred_nonempty(D2.selection_predicate) &&
+      !pred_nonempty(pred_remainder(D2.selection_predicate, DB.attributes)) )
+    {{
+        D3.selection_predicate = D2.selection_predicate;
+        D3.attributes          = DB.attributes;
+        D3.num_records         = filter_card(DB.num_records,
+                                             D2.selection_predicate);
+        D3.tuple_size          = DB.tuple_size;
+        D4 = D1;
+        D4.num_records = join_card(DA.num_records, D3.num_records,
+                                   D1.join_predicate);
+    }}
+
+trule select_join_pull_left:
+    JOIN(SELECT(?S1:DA):D1, ?S2:DB):D2 => SELECT(JOIN(?S1, ?S2):D3):D4
+    {{ }}
+    ( pred_nonempty(D1.selection_predicate) )
+    {{
+        D3.join_predicate = D2.join_predicate;
+        D3.attributes     = union(DA.attributes, DB.attributes);
+        D3.num_records    = join_card(DA.num_records, DB.num_records,
+                                      D2.join_predicate);
+        D3.tuple_size     = DA.tuple_size + DB.tuple_size;
+        D4 = D2;
+        D4.join_predicate      = DONT_CARE;
+        D4.selection_predicate = D1.selection_predicate;
+        D4.attributes          = D3.attributes;
+        D4.num_records         = filter_card(D3.num_records,
+                                             D1.selection_predicate);
+    }}
+
+trule select_join_pull_right:
+    JOIN(?S1:DA, SELECT(?S2:DB):D1):D2 => SELECT(JOIN(?S1, ?S2):D3):D4
+    {{ }}
+    ( pred_nonempty(D1.selection_predicate) )
+    {{
+        D3.join_predicate = D2.join_predicate;
+        D3.attributes     = union(DA.attributes, DB.attributes);
+        D3.num_records    = join_card(DA.num_records, DB.num_records,
+                                      D2.join_predicate);
+        D3.tuple_size     = DA.tuple_size + DB.tuple_size;
+        D4 = D2;
+        D4.join_predicate      = DONT_CARE;
+        D4.selection_predicate = D1.selection_predicate;
+        D4.attributes          = D3.attributes;
+        D4.num_records         = filter_card(D3.num_records,
+                                             D1.selection_predicate);
+    }}
+
+trule select_ret_merge:
+    SELECT(RET(?F:DF):D1):D2 => RET(?F):D3
+    {{ }}
+    ( TRUE )
+    {{
+        D3 = D1;
+        D3.selection_predicate = conjoin_preds(D1.selection_predicate,
+                                               D2.selection_predicate);
+        D3.num_records         = filter_card(DF.num_records,
+                                             conjoin_preds(D1.selection_predicate,
+                                                           D2.selection_predicate));
+    }}
+
+/* ===================================================================
+ * T-rule 17: UNNEST (the single UNNEST transformation, per Section 4.3).
+ * =================================================================== */
+
+trule select_unnest_push:
+    SELECT(UNNEST(?S1:DA):D1):D2 => UNNEST(SELECT(?S1):D3):D4
+    {{ }}
+    ( pred_nonempty(D2.selection_predicate) &&
+      !pred_mentions(D2.selection_predicate, D1.unnest_attribute) )
+    {{
+        D3.selection_predicate = D2.selection_predicate;
+        D3.attributes          = DA.attributes;
+        D3.num_records         = filter_card(DA.num_records,
+                                             D2.selection_predicate);
+        D3.tuple_size          = DA.tuple_size;
+        D4 = D1;
+        D4.num_records = unnest_card(D3.num_records);
+    }}
+
+/* ===================================================================
+ * T-rules 18-22: sort introduction (one per operator, cf. paper
+ * footnote 7).  Each introduces the SORT enforcer-operator above a
+ * node; after P2V deletes SORT these collapse to identities and are
+ * merged away — which is exactly why the Volcano rule set has five
+ * fewer trans_rules than this specification has T-rules.
+ * =================================================================== */
+
+trule sort_after_ret:
+    RET(?F:DF):D1 => SORT(RET(?F):D2):D3
+    {{ }}
+    ( TRUE )
+    {{ D2 = D1; D3 = D1; }}
+
+trule sort_after_select:
+    SELECT(?S1:DA):D1 => SORT(SELECT(?S1):D2):D3
+    {{ }}
+    ( TRUE )
+    {{ D2 = D1; D3 = D1; }}
+
+trule sort_after_join:
+    JOIN(?S1:DA, ?S2:DB):D1 => SORT(JOIN(?S1, ?S2):D2):D3
+    {{ }}
+    ( TRUE )
+    {{ D2 = D1; D3 = D1; }}
+
+trule sort_after_mat:
+    MAT(?S1:DA):D1 => SORT(MAT(?S1):D2):D3
+    {{ }}
+    ( TRUE )
+    {{ D2 = D1; D3 = D1; }}
+
+trule sort_after_unnest:
+    UNNEST(?S1:DA):D1 => SORT(UNNEST(?S1):D2):D3
+    {{ }}
+    ( TRUE )
+    {{ D2 = D1; D3 = D1; }}
+
+/* ===================================================================
+ * I-rules 1-3: RET.  Index_scan appears in two I-rules with different
+ * property transformations (per-rule property mapping at work): one
+ * exploits an index matched by the selection predicate, the other
+ * satisfies a requested sort order by an ordered full-index scan.
+ * =================================================================== */
+
+irule ret_file_scan:
+    RET(?F:DF):D1 => File_scan(?F):D2
+    ( TRUE )
+    {{
+        D2 = D1;
+        D2.tuple_order = DONT_CARE;
+    }}
+    {{
+        D2.cost = scan_cost(D1.file_name);
+    }}
+
+irule ret_index_scan:
+    RET(?F:DF):D1 => Index_scan(?F):D2
+    ( has_usable_index(D1.file_name, D1.selection_predicate) )
+    {{
+        D2 = D1;
+        D2.tuple_order = index_order(D1.file_name, D1.selection_predicate);
+    }}
+    {{
+        D2.cost = index_scan_cost(D1.file_name, D1.selection_predicate);
+    }}
+
+irule ret_index_order_scan:
+    RET(?F:DF):D1 => Index_scan(?F):D2
+    ( D1.tuple_order != DONT_CARE &&
+      D1.tuple_order == any_index_order(D1.file_name) )
+    {{
+        D2 = D1;
+    }}
+    {{
+        D2.cost = full_index_scan_cost(D1.file_name);
+    }}
+
+/* ===================================================================
+ * I-rules 4-5: SELECT and PROJECT (streaming; order-preserving).
+ * =================================================================== */
+
+irule select_filter:
+    SELECT(?S1:D1):D2 => Filter(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{
+        D4.cost = D3.cost + 0.01 * D3.num_records;
+    }}
+
+irule project_projection:
+    PROJECT(?S1:D1):D2 => Projection(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{
+        D4.cost = D3.cost + 0.01 * D3.num_records;
+    }}
+
+/* ===================================================================
+ * I-rules 6-7: JOIN.  Neither join algorithm uses indices (paper
+ * Section 4.3), which is why index presence leaves Q1-Q4 unchanged.
+ * =================================================================== */
+
+irule join_hash:
+    JOIN(?S1:D1, ?S2:D2):D3 => Hash_join(?S1, ?S2):D4
+    ( has_equijoin(D3.join_predicate) )
+    {{
+        D4 = D3;
+        D4.tuple_order = DONT_CARE;
+    }}
+    {{
+        D4.cost = D1.cost + D2.cost
+                + 0.01 * (D1.num_records + 2 * D2.num_records);
+    }}
+
+irule join_pointer:
+    JOIN(?S1:D1, ?S2:D2):D3 => Pointer_join(?S1:D4, ?S2):D5
+    ( is_pointer_joinable(D3.join_predicate, D1.attributes, D2.attributes) )
+    {{
+        D5 = D3;
+        D4 = D1;
+        D4.tuple_order = D3.tuple_order;
+    }}
+    {{
+        D5.cost = D4.cost + 1.0 * D4.num_records;
+    }}
+
+/* ===================================================================
+ * I-rules 8-9: MAT and UNNEST (streaming, order-preserving).
+ * =================================================================== */
+
+irule mat_deref:
+    MAT(?S1:D1):D2 => Mat_deref(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{
+        D4.cost = D3.cost + 1.0 * D3.num_records;
+    }}
+
+irule unnest_scan:
+    UNNEST(?S1:D1):D2 => Unnest_scan(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{
+        D4.cost = D3.cost + 0.02 * D3.num_records;
+    }}
+
+/* ===================================================================
+ * I-rules 10-11: SORT — the paper's Figures 5 and 7(b).  Merge_sort
+ * becomes the Volcano enforcer; the Null rule marks SORT as the
+ * enforcer-operator and dissolves during translation.
+ * =================================================================== */
+
+irule sort_merge_sort:
+    SORT(?S1:D1):D2 => Merge_sort(?S1):D3
+    ( D2.tuple_order != DONT_CARE &&
+      contains(D2.attributes, D2.tuple_order) )
+    {{
+        D3 = D2;
+    }}
+    {{
+        D3.cost = D1.cost + 0.02 * D3.num_records * log2(D3.num_records);
+    }}
+
+irule sort_null:
+    SORT(?S1:D1):D2 => Null(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{
+        D4.cost = D3.cost;
+    }}
+"""
+
+
+def build_oodb_prairie() -> PrairieRuleSet:
+    """Compile and validate the Open-OODB Prairie rule set."""
+    return compile_spec(PRAIRIE_SPEC, name="oodb", helpers=domain_helpers())

@@ -1,0 +1,349 @@
+"""The centralized relational optimizer, specified in Prairie.
+
+This is the optimizer of the paper's Table 1 (and of its earlier
+workshop publication [5]): operators RET, JOIN, and the enforcer-operator
+SORT; algorithms File_scan, Index_scan, Nested_loops, Merge_join,
+Merge_sort, and Null.  The SORT I-rules are literally the paper's
+Figures 5 (Merge_sort) and 7(b) (Null); the Nested_loops I-rule is the
+paper's Figure 6; the JOIN-associativity T-rule follows Figure 3.
+
+After P2V translation: SORT disappears (it is the enforcer-operator),
+Merge_sort becomes the sort enforcer, the Null rule dissolves into the
+engine's property-satisfaction mechanism, and 2 trans_rules + 4
+impl_rules remain.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DONT_CARE
+from repro.optimizers.helpers import domain_helpers
+from repro.optimizers.schema import make_schema
+from repro.prairie.build import (
+    assign,
+    block,
+    both,
+    call,
+    copy_desc,
+    lit,
+    mul,
+    add,
+    ne,
+    node,
+    prop,
+    test,
+    var,
+)
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+#: CPU cost per tuple touched by streaming algorithms (rule-text constant).
+CPU = 0.01
+#: Multiplier on n·log2(n) for the in-memory merge sort.
+SORT_FACTOR = 0.02
+
+
+def build_relational_prairie() -> PrairieRuleSet:
+    """Construct and validate the relational Prairie rule set."""
+    ruleset = PrairieRuleSet(
+        "relational", schema=make_schema(), helpers=domain_helpers()
+    )
+
+    ruleset.declare_operator(Operator.on_file("RET", doc="retrieve stored file"))
+    ruleset.declare_operator(Operator.streams("JOIN", 2, doc="join two streams"))
+    ruleset.declare_operator(Operator.streams("SORT", 1, doc="sort a stream"))
+
+    ruleset.declare_algorithm(Algorithm.on_file("File_scan", doc="sequential scan"))
+    ruleset.declare_algorithm(Algorithm.on_file("Index_scan", doc="index scan"))
+    ruleset.declare_algorithm(
+        Algorithm.streams("Nested_loops", 2, doc="nested-loops join")
+    )
+    ruleset.declare_algorithm(Algorithm.streams("Merge_join", 2, doc="merge join"))
+    ruleset.declare_algorithm(Algorithm.streams("Merge_sort", 1, doc="merge sort"))
+
+    _add_t_rules(ruleset)
+    _add_i_rules(ruleset)
+    ruleset.validate()
+    return ruleset
+
+
+# ---------------------------------------------------------------------------
+# T-rules
+# ---------------------------------------------------------------------------
+
+
+def _add_t_rules(ruleset: PrairieRuleSet) -> None:
+    # JOIN commutativity: swap the inputs, recompute the attribute order.
+    ruleset.add_trule(
+        TRule(
+            name="join_commute",
+            doc="JOIN(S1,S2) == JOIN(S2,S1)",
+            lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D1"),
+            rhs=node("JOIN", var("S2"), var("S1"), desc="D2"),
+            post_test=block(
+                copy_desc("D2", "D1"),
+                assign(
+                    "D2",
+                    "attributes",
+                    call("union", prop("DL2", "attributes"), prop("DL1", "attributes")),
+                ),
+            ),
+        )
+    )
+
+    # JOIN associativity (paper Figure 3): the pre-test computes the new
+    # inner join's predicate, the test rejects cross products, the
+    # post-test completes the new descriptors.
+    inner_attrs = call("union", prop("DB", "attributes"), prop("DC", "attributes"))
+    all_preds = call(
+        "conjoin_preds", prop("D1", "join_predicate"), prop("D2", "join_predicate")
+    )
+    ruleset.add_trule(
+        TRule(
+            name="join_assoc",
+            doc="JOIN(JOIN(S1,S2),S3) == JOIN(S1,JOIN(S2,S3))",
+            lhs=node(
+                "JOIN",
+                node("JOIN", var("S1", "DA"), var("S2", "DB"), desc="D1"),
+                var("S3", "DC"),
+                desc="D2",
+            ),
+            rhs=node(
+                "JOIN",
+                var("S1"),
+                node("JOIN", var("S2"), var("S3"), desc="D3"),
+                desc="D4",
+            ),
+            pre_test=block(
+                assign(
+                    "D3",
+                    "join_predicate",
+                    call("pred_within", all_preds, inner_attrs),
+                ),
+            ),
+            test=test(
+                both(
+                    call("pred_nonempty", prop("D3", "join_predicate")),
+                    call(
+                        "pred_nonempty",
+                        call("pred_remainder", all_preds, inner_attrs),
+                    ),
+                )
+            ),
+            post_test=block(
+                assign("D3", "attributes", inner_attrs),
+                assign(
+                    "D3",
+                    "num_records",
+                    call(
+                        "join_card",
+                        prop("DB", "num_records"),
+                        prop("DC", "num_records"),
+                        prop("D3", "join_predicate"),
+                    ),
+                ),
+                assign(
+                    "D3",
+                    "tuple_size",
+                    add(prop("DB", "tuple_size"), prop("DC", "tuple_size")),
+                ),
+                copy_desc("D4", "D2"),
+                assign(
+                    "D4",
+                    "join_predicate",
+                    call("pred_remainder", all_preds, inner_attrs),
+                ),
+                assign(
+                    "D4",
+                    "attributes",
+                    call("union", prop("DA", "attributes"), prop("D3", "attributes")),
+                ),
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# I-rules
+# ---------------------------------------------------------------------------
+
+
+def _add_i_rules(ruleset: PrairieRuleSet) -> None:
+    # RET by sequential scan: delivers no order.
+    ruleset.add_irule(
+        IRule(
+            name="ret_file_scan",
+            doc="RET(F) -> File_scan(F)",
+            lhs=node("RET", var("F", "DF"), desc="D1"),
+            rhs=node("File_scan", var("F"), desc="D2"),
+            pre_opt=block(
+                copy_desc("D2", "D1"),
+                assign("D2", "tuple_order", lit(DONT_CARE)),
+            ),
+            post_opt=block(
+                assign("D2", "cost", call("scan_cost", prop("D1", "file_name"))),
+            ),
+        )
+    )
+
+    # RET by index scan: applicable when the selection predicate hits an
+    # index; delivers the indexed attribute's order.
+    ruleset.add_irule(
+        IRule(
+            name="ret_index_scan",
+            doc="RET(F) -> Index_scan(F) when the selection matches an index",
+            lhs=node("RET", var("F", "DF"), desc="D1"),
+            rhs=node("Index_scan", var("F"), desc="D2"),
+            test=test(
+                call(
+                    "has_usable_index",
+                    prop("D1", "file_name"),
+                    prop("D1", "selection_predicate"),
+                )
+            ),
+            pre_opt=block(
+                copy_desc("D2", "D1"),
+                assign(
+                    "D2",
+                    "tuple_order",
+                    call(
+                        "index_order",
+                        prop("D1", "file_name"),
+                        prop("D1", "selection_predicate"),
+                    ),
+                ),
+            ),
+            post_opt=block(
+                assign(
+                    "D2",
+                    "cost",
+                    call(
+                        "index_scan_cost",
+                        prop("D1", "file_name"),
+                        prop("D1", "selection_predicate"),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # JOIN by nested loops — the paper's Figure 6, verbatim: the outer
+    # input carries the requested order through; the inner is re-read per
+    # outer tuple.
+    ruleset.add_irule(
+        IRule(
+            name="join_nested_loops",
+            doc="JOIN(S1,S2) -> Nested_loops(S1,S2) (paper Figure 6)",
+            lhs=node("JOIN", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Nested_loops", var("S1", "D4"), var("S2"), desc="D5"),
+            pre_opt=block(
+                copy_desc("D5", "D3"),
+                copy_desc("D4", "D1"),
+                assign("D4", "tuple_order", prop("D3", "tuple_order")),
+            ),
+            post_opt=block(
+                assign(
+                    "D5",
+                    "cost",
+                    add(
+                        prop("D4", "cost"),
+                        mul(prop("D4", "num_records"), prop("D2", "cost")),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # JOIN by merge join: requires both inputs sorted on the equi-join
+    # attributes; delivers the outer sort order.
+    outer_attr = call("sort_attr", prop("D3", "join_predicate"), prop("D1", "attributes"))
+    inner_attr = call("sort_attr", prop("D3", "join_predicate"), prop("D2", "attributes"))
+    ruleset.add_irule(
+        IRule(
+            name="join_merge_join",
+            doc="JOIN(S1,S2) -> Merge_join(S1,S2) on equi-join predicates",
+            lhs=node("JOIN", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Merge_join", var("S1", "D4"), var("S2", "D5"), desc="D6"),
+            test=test(
+                both(
+                    call("has_equijoin", prop("D3", "join_predicate")),
+                    both(
+                        ne(outer_attr, lit(DONT_CARE)),
+                        ne(inner_attr, lit(DONT_CARE)),
+                    ),
+                )
+            ),
+            pre_opt=block(
+                copy_desc("D6", "D3"),
+                copy_desc("D4", "D1"),
+                copy_desc("D5", "D2"),
+                assign("D4", "tuple_order", outer_attr),
+                assign("D5", "tuple_order", inner_attr),
+                assign("D6", "tuple_order", outer_attr),
+            ),
+            post_opt=block(
+                assign(
+                    "D6",
+                    "cost",
+                    add(
+                        add(prop("D4", "cost"), prop("D5", "cost")),
+                        mul(
+                            lit(CPU),
+                            add(
+                                prop("D4", "num_records"),
+                                prop("D5", "num_records"),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # SORT by merge sort — the paper's Figure 5 (I-rule (4)), with an
+    # added sanity guard that the sort attribute exists in the stream.
+    ruleset.add_irule(
+        IRule(
+            name="sort_merge_sort",
+            doc="SORT(S1) -> Merge_sort(S1) (paper Figure 5)",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Merge_sort", var("S1"), desc="D3"),
+            test=test(
+                both(
+                    ne(prop("D2", "tuple_order"), lit(DONT_CARE)),
+                    call("contains", prop("D2", "attributes"), prop("D2", "tuple_order")),
+                )
+            ),
+            pre_opt=block(copy_desc("D3", "D2")),
+            post_opt=block(
+                assign(
+                    "D3",
+                    "cost",
+                    add(
+                        prop("D1", "cost"),
+                        mul(
+                            mul(lit(SORT_FACTOR), prop("D3", "num_records")),
+                            call("log2", prop("D3", "num_records")),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # SORT by Null — the paper's Figure 7(b) (I-rule (7)): the pass-through
+    # that makes SORT an enforcer-operator.
+    ruleset.add_irule(
+        IRule(
+            name="sort_null",
+            doc="SORT(S1) -> Null(S1) (paper Figure 7(b))",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Null", var("S1", "D3"), desc="D4"),
+            pre_opt=block(
+                copy_desc("D4", "D2"),
+                copy_desc("D3", "D1"),
+                assign("D3", "tuple_order", prop("D2", "tuple_order")),
+            ),
+            post_opt=block(assign("D4", "cost", prop("D3", "cost"))),
+        )
+    )

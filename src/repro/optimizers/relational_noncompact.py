@@ -1,0 +1,379 @@
+"""The relational optimizer in the *non-compact* Prairie style.
+
+Paper footnote 5 and Section 3.3: instead of writing the compact I-rule
+
+    JOIN(S1, S2):D3 ⇒ Nested_loops(S1:D4, S2):D5
+
+a rule writer may factor the sortedness requirement *explicitly* through
+the SORT enforcer-operator and an auxiliary operator:
+
+    T-rule: JOIN(S1, S2):D3 ⇒ JOPR(SORT(S1):D4, SORT(S2):D5):D6
+    I-rule: JOPR(S1, S2):D3 ⇒ Merge_join(S1, S2):D6
+
+This module writes the whole relational optimizer that way — auxiliary
+operators JOPR (sorted-input join) and JJNL (outer-ordered join), a
+sort-introduction T-rule per join algorithm, and I-rules against the
+auxiliary operators with **no** requirement descriptors of their own.
+
+P2V's rule-merging pass must then reconstruct the compact rule set: the
+factoring T-rules collapse to renamings once SORT is deleted, JOPR and
+JJNL alias back to JOIN, and the orphaned ``D4.tuple_order = …``
+assignments fold into the I-rules' pre-opt sections — reproducing the
+compact rules of :mod:`repro.optimizers.relational` exactly.  The test
+suite asserts the two provenances are *behaviourally identical*
+(same plans, costs, memo statistics) on every workload tried.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DONT_CARE
+from repro.optimizers.helpers import domain_helpers
+from repro.optimizers.relational import CPU, SORT_FACTOR
+from repro.optimizers.schema import make_schema
+from repro.prairie.build import (
+    add,
+    assign,
+    block,
+    both,
+    call,
+    copy_desc,
+    lit,
+    mul,
+    ne,
+    node,
+    prop,
+    test,
+    var,
+)
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+def build_relational_noncompact() -> PrairieRuleSet:
+    """The relational rule set, written in the factored (§3.3) style."""
+    ruleset = PrairieRuleSet(
+        "relational (non-compact)", schema=make_schema(), helpers=domain_helpers()
+    )
+
+    ruleset.declare_operator(Operator.on_file("RET"))
+    ruleset.declare_operator(Operator.streams("JOIN", 2))
+    ruleset.declare_operator(
+        Operator.streams("JOPR", 2, doc="join over sorted inputs (auxiliary)")
+    )
+    ruleset.declare_operator(
+        Operator.streams("JJNL", 2, doc="join with ordered outer (auxiliary)")
+    )
+    ruleset.declare_operator(Operator.streams("SORT", 1))
+
+    ruleset.declare_algorithm(Algorithm.on_file("File_scan"))
+    ruleset.declare_algorithm(Algorithm.on_file("Index_scan"))
+    ruleset.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+    ruleset.declare_algorithm(Algorithm.streams("Merge_join", 2))
+    ruleset.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+
+    _add_logical_t_rules(ruleset)
+    _add_factoring_t_rules(ruleset)
+    _add_i_rules(ruleset)
+    ruleset.validate()
+    return ruleset
+
+
+def _add_logical_t_rules(ruleset: PrairieRuleSet) -> None:
+    """Commutativity/associativity — identical to the compact set."""
+    ruleset.add_trule(
+        TRule(
+            name="join_commute",
+            lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D1"),
+            rhs=node("JOIN", var("S2"), var("S1"), desc="D2"),
+            post_test=block(
+                copy_desc("D2", "D1"),
+                assign(
+                    "D2",
+                    "attributes",
+                    call("union", prop("DL2", "attributes"), prop("DL1", "attributes")),
+                ),
+            ),
+        )
+    )
+    inner_attrs = call("union", prop("DB", "attributes"), prop("DC", "attributes"))
+    all_preds = call(
+        "conjoin_preds", prop("D1", "join_predicate"), prop("D2", "join_predicate")
+    )
+    ruleset.add_trule(
+        TRule(
+            name="join_assoc",
+            lhs=node(
+                "JOIN",
+                node("JOIN", var("S1", "DA"), var("S2", "DB"), desc="D1"),
+                var("S3", "DC"),
+                desc="D2",
+            ),
+            rhs=node(
+                "JOIN",
+                var("S1"),
+                node("JOIN", var("S2"), var("S3"), desc="D3"),
+                desc="D4",
+            ),
+            pre_test=block(
+                assign(
+                    "D3",
+                    "join_predicate",
+                    call("pred_within", all_preds, inner_attrs),
+                ),
+            ),
+            test=test(
+                both(
+                    call("pred_nonempty", prop("D3", "join_predicate")),
+                    call(
+                        "pred_nonempty",
+                        call("pred_remainder", all_preds, inner_attrs),
+                    ),
+                )
+            ),
+            post_test=block(
+                assign("D3", "attributes", inner_attrs),
+                assign(
+                    "D3",
+                    "num_records",
+                    call(
+                        "join_card",
+                        prop("DB", "num_records"),
+                        prop("DC", "num_records"),
+                        prop("D3", "join_predicate"),
+                    ),
+                ),
+                assign(
+                    "D3",
+                    "tuple_size",
+                    add(prop("DB", "tuple_size"), prop("DC", "tuple_size")),
+                ),
+                copy_desc("D4", "D2"),
+                assign(
+                    "D4",
+                    "join_predicate",
+                    call("pred_remainder", all_preds, inner_attrs),
+                ),
+                assign(
+                    "D4",
+                    "attributes",
+                    call("union", prop("DA", "attributes"), prop("D3", "attributes")),
+                ),
+            ),
+        )
+    )
+
+
+def _add_factoring_t_rules(ruleset: PrairieRuleSet) -> None:
+    """The footnote-5 factorings: JOIN ⇒ aux-op over SORTed inputs.
+
+    The requirement assignments targeting the SORT descriptors are
+    exactly what P2V folds into the I-rules after deleting SORT.
+    """
+    outer_attr = call(
+        "sort_attr", prop("D3", "join_predicate"), prop("DL1", "attributes")
+    )
+    inner_attr = call(
+        "sort_attr", prop("D3", "join_predicate"), prop("DL2", "attributes")
+    )
+    ruleset.add_trule(
+        TRule(
+            name="join_to_jopr",
+            doc="factor the merge join's sorted-input requirement",
+            lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D3"),
+            rhs=node(
+                "JOPR",
+                node("SORT", var("S1"), desc="D4"),
+                node("SORT", var("S2"), desc="D5"),
+                desc="D6",
+            ),
+            post_test=block(
+                copy_desc("D6", "D3"),
+                copy_desc("D4", "DL1"),
+                copy_desc("D5", "DL2"),
+                assign("D4", "tuple_order", outer_attr),
+                assign("D5", "tuple_order", inner_attr),
+            ),
+        )
+    )
+    ruleset.add_trule(
+        TRule(
+            name="join_to_jjnl",
+            doc="factor the nested loops' outer-order pass-through",
+            lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D3"),
+            rhs=node(
+                "JJNL",
+                node("SORT", var("S1"), desc="D4"),
+                var("S2"),
+                desc="D6",
+            ),
+            post_test=block(
+                copy_desc("D6", "D3"),
+                copy_desc("D4", "DL1"),
+                assign("D4", "tuple_order", prop("D3", "tuple_order")),
+            ),
+        )
+    )
+
+
+def _add_i_rules(ruleset: PrairieRuleSet) -> None:
+    # RET rules: identical to the compact set.
+    ruleset.add_irule(
+        IRule(
+            name="ret_file_scan",
+            lhs=node("RET", var("F", "DF"), desc="D1"),
+            rhs=node("File_scan", var("F"), desc="D2"),
+            pre_opt=block(
+                copy_desc("D2", "D1"),
+                assign("D2", "tuple_order", lit(DONT_CARE)),
+            ),
+            post_opt=block(
+                assign("D2", "cost", call("scan_cost", prop("D1", "file_name"))),
+            ),
+        )
+    )
+    ruleset.add_irule(
+        IRule(
+            name="ret_index_scan",
+            lhs=node("RET", var("F", "DF"), desc="D1"),
+            rhs=node("Index_scan", var("F"), desc="D2"),
+            test=test(
+                call(
+                    "has_usable_index",
+                    prop("D1", "file_name"),
+                    prop("D1", "selection_predicate"),
+                )
+            ),
+            pre_opt=block(
+                copy_desc("D2", "D1"),
+                assign(
+                    "D2",
+                    "tuple_order",
+                    call(
+                        "index_order",
+                        prop("D1", "file_name"),
+                        prop("D1", "selection_predicate"),
+                    ),
+                ),
+            ),
+            post_opt=block(
+                assign(
+                    "D2",
+                    "cost",
+                    call(
+                        "index_scan_cost",
+                        prop("D1", "file_name"),
+                        prop("D1", "selection_predicate"),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # JJNL ⇒ Nested_loops: no requirement descriptors here — the
+    # factoring T-rule carries them; P2V folds them back in.
+    ruleset.add_irule(
+        IRule(
+            name="join_nested_loops",
+            lhs=node("JJNL", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Nested_loops", var("S1"), var("S2"), desc="D5"),
+            pre_opt=block(copy_desc("D5", "D3")),
+            post_opt=block(
+                assign(
+                    "D5",
+                    "cost",
+                    add(
+                        prop("D1", "cost"),
+                        mul(prop("D1", "num_records"), prop("D2", "cost")),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # JOPR ⇒ Merge_join: applicability test lives here (the factoring
+    # T-rule is unconditional), matching the compact rule's semantics.
+    outer_attr = call(
+        "sort_attr", prop("D3", "join_predicate"), prop("D1", "attributes")
+    )
+    inner_attr = call(
+        "sort_attr", prop("D3", "join_predicate"), prop("D2", "attributes")
+    )
+    ruleset.add_irule(
+        IRule(
+            name="join_merge_join",
+            lhs=node("JOPR", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Merge_join", var("S1"), var("S2"), desc="D6"),
+            test=test(
+                both(
+                    call("has_equijoin", prop("D3", "join_predicate")),
+                    both(
+                        ne(outer_attr, lit(DONT_CARE)),
+                        ne(inner_attr, lit(DONT_CARE)),
+                    ),
+                )
+            ),
+            pre_opt=block(
+                copy_desc("D6", "D3"),
+                assign("D6", "tuple_order", outer_attr),
+            ),
+            post_opt=block(
+                assign(
+                    "D6",
+                    "cost",
+                    add(
+                        add(prop("D1", "cost"), prop("D2", "cost")),
+                        mul(
+                            lit(CPU),
+                            add(
+                                prop("D1", "num_records"),
+                                prop("D2", "num_records"),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # SORT rules: Figures 5 and 7(b), as in the compact set.
+    ruleset.add_irule(
+        IRule(
+            name="sort_merge_sort",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Merge_sort", var("S1"), desc="D3"),
+            test=test(
+                both(
+                    ne(prop("D2", "tuple_order"), lit(DONT_CARE)),
+                    call("contains", prop("D2", "attributes"), prop("D2", "tuple_order")),
+                )
+            ),
+            pre_opt=block(copy_desc("D3", "D2")),
+            post_opt=block(
+                assign(
+                    "D3",
+                    "cost",
+                    add(
+                        prop("D1", "cost"),
+                        mul(
+                            mul(lit(SORT_FACTOR), prop("D3", "num_records")),
+                            call("log2", prop("D3", "num_records")),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+    ruleset.add_irule(
+        IRule(
+            name="sort_null",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Null", var("S1", "D3"), desc="D4"),
+            pre_opt=block(
+                copy_desc("D4", "D2"),
+                copy_desc("D3", "D1"),
+                assign("D3", "tuple_order", prop("D2", "tuple_order")),
+            ),
+            post_opt=block(assign("D4", "cost", prop("D3", "cost"))),
+        )
+    )

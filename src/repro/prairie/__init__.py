@@ -1,0 +1,72 @@
+"""Prairie: the paper's rule-specification framework (core contribution).
+
+Layout:
+
+* :mod:`repro.prairie.actions` — the rule action language: assignment
+  statements over descriptors, tests, helper-function calls; both as an
+  analysable AST (what the textual DSL produces) and as plain Python
+  callables with declared write-sets.
+* :mod:`repro.prairie.helpers` — the helper-function registry with the
+  built-ins used throughout the paper (``union``, ``cardinality``, ``log``…).
+* :mod:`repro.prairie.rules` — T-rules and I-rules (paper Sections 2.3–2.5).
+* :mod:`repro.prairie.ruleset` — whole-rule-set container + validation.
+* :mod:`repro.prairie.analysis` — P2V's automatic property classification
+  and enforcer detection (paper Section 3.1).
+* :mod:`repro.prairie.merge` — P2V's rule merging / enforcer-operator
+  elimination (paper Section 3.3).
+* :mod:`repro.prairie.translate` — the P2V pre-processor proper: Prairie
+  rule set → Volcano rule set (paper Section 3).
+* :mod:`repro.prairie.codegen` — textual Prairie / Volcano specification
+  emitters (used by the Section 4.2 lines-of-code comparison).
+* :mod:`repro.prairie.dsl` — lexer + parser for the textual Prairie rule
+  language.
+"""
+
+from repro.prairie.actions import (
+    ActionBlock,
+    ActionEnv,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Lit,
+    PropRef,
+    PyAction,
+    PyTest,
+    Test,
+    TestExpr,
+    TRUE_TEST,
+    UnaryOp,
+)
+from repro.prairie.helpers import HelperRegistry, default_helpers
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+from repro.prairie.analysis import RuleSetAnalysis, analyse
+from repro.prairie.translate import translate_to_volcano
+
+__all__ = [
+    "ActionBlock",
+    "ActionEnv",
+    "AssignDesc",
+    "AssignProp",
+    "BinOp",
+    "Call",
+    "DescRef",
+    "Lit",
+    "PropRef",
+    "PyAction",
+    "PyTest",
+    "Test",
+    "TestExpr",
+    "TRUE_TEST",
+    "UnaryOp",
+    "HelperRegistry",
+    "default_helpers",
+    "IRule",
+    "TRule",
+    "PrairieRuleSet",
+    "RuleSetAnalysis",
+    "analyse",
+    "translate_to_volcano",
+]

@@ -1,0 +1,438 @@
+"""The Prairie rule action language.
+
+A rule's actions are "a series of (C or C++) assignment statements" whose
+left-hand sides refer to descriptors of the rule's output side and whose
+right-hand sides may reference any descriptor of the rule plus *helper*
+function calls (paper Section 2.3).  Tests are boolean expressions over
+the same vocabulary.
+
+This module provides the action language in two interchangeable forms:
+
+1. **An AST** (:class:`AssignProp`, :class:`AssignDesc`, expression nodes)
+   produced by the textual DSL and buildable programmatically.  The AST
+   is *statically analysable*: P2V's property classifier asks each block
+   which properties it assigns (:meth:`ActionBlock.property_writes`)
+   and rule validation asks which descriptors it touches.
+
+2. **Plain Python callables** (:class:`PyAction`, :class:`PyTest`) for
+   users who prefer writing actions in Python.  Because a callable is
+   opaque, it must *declare* its write-set — the paper makes the same
+   concession for non-assignment statements (footnote 3: "the P2V
+   pre-processor needs some hints about the properties that are changed").
+
+Both forms execute against an :class:`ActionEnv`, which binds descriptor
+names to live :class:`~repro.algebra.descriptors.Descriptor` objects and
+resolves helper functions.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.properties import DONT_CARE
+from repro.errors import ActionError, RuleError
+from repro.prairie.helpers import HelperRegistry
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal constant (number, string, DONT_CARE, True/False, tuple)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if self.value is DONT_CARE:
+            return "DONT_CARE"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class DescRef:
+    """A reference to a whole descriptor by name (``D3``)."""
+
+    desc: str
+
+    def __str__(self) -> str:
+        return self.desc
+
+
+@dataclass(frozen=True)
+class PropRef:
+    """A reference to one property of a descriptor (``D3.cost``)."""
+
+    desc: str
+    prop: str
+
+    def __str__(self) -> str:
+        return f"{self.desc}.{self.prop}"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A helper-function call (``union(D1.attributes, D2.attributes)``)."""
+
+    func: str
+    args: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation: arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary negation (``!``) or arithmetic minus (``-``)."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+Expr = Union[Lit, DescRef, PropRef, Call, BinOp, UnaryOp]
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _op.add,
+    "-": _op.sub,
+    "*": _op.mul,
+    "/": _op.truediv,
+    "%": _op.mod,
+    "==": _op.eq,
+    "!=": _op.ne,
+    "<": _op.lt,
+    "<=": _op.le,
+    ">": _op.gt,
+    ">=": _op.ge,
+}
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal over an expression tree."""
+    yield expr
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+
+
+def expr_descriptor_reads(expr: Expr) -> frozenset[str]:
+    """Names of all descriptors the expression reads (whole or by property)."""
+    names = set()
+    for node in walk_expr(expr):
+        if isinstance(node, (DescRef, PropRef)):
+            names.add(node.desc)
+    return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# Environment
+# ---------------------------------------------------------------------------
+
+
+class ActionEnv:
+    """Execution environment for rule actions and tests.
+
+    Binds descriptor names (``D1``…) to live descriptors, and carries the
+    helper registry and an opaque optimization context (which helpers may
+    consult for catalog access).  ``readonly`` names may be read but never
+    assigned — these are the rule's left-hand-side descriptors, which the
+    Prairie model forbids changing (paper Section 2.3).
+    """
+
+    def __init__(
+        self,
+        descriptors: Mapping[str, Descriptor],
+        helpers: HelperRegistry,
+        context: Any = None,
+        readonly: Iterable[str] = (),
+    ) -> None:
+        self.descriptors = dict(descriptors)
+        self.helpers = helpers
+        self.context = context
+        self.readonly = frozenset(readonly)
+
+    def descriptor(self, name: str) -> Descriptor:
+        try:
+            return self.descriptors[name]
+        except KeyError:
+            raise ActionError(f"unbound descriptor {name!r}") from None
+
+    def eval(self, expr: Expr) -> Any:
+        """Evaluate an action expression to a value."""
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, DescRef):
+            return self.descriptor(expr.desc)
+        if isinstance(expr, PropRef):
+            return self.descriptor(expr.desc)[expr.prop]
+        if isinstance(expr, Call):
+            args = [self.eval(a) for a in expr.args]
+            return self.helpers.call(expr.func, self.context, args)
+        if isinstance(expr, UnaryOp):
+            value = self.eval(expr.operand)
+            if expr.op == "!":
+                return not value
+            if expr.op == "-":
+                return -value
+            raise ActionError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, BinOp):
+            if expr.op == "&&":
+                return bool(self.eval(expr.left)) and bool(self.eval(expr.right))
+            if expr.op == "||":
+                return bool(self.eval(expr.left)) or bool(self.eval(expr.right))
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            try:
+                fn = _BINOPS[expr.op]
+            except KeyError:
+                raise ActionError(f"unknown operator {expr.op!r}") from None
+            # Comparisons involving DONT_CARE are identity-based equality
+            # checks; arithmetic on DONT_CARE is an error worth surfacing.
+            if expr.op in ("==", "!="):
+                return fn(left, right)
+            if left is DONT_CARE or right is DONT_CARE:
+                raise ActionError(
+                    f"cannot apply {expr.op!r} to DONT_CARE in {expr}"
+                )
+            return fn(left, right)
+        raise ActionError(f"not an action expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssignProp:
+    """``D.prop = expr ;`` — assign one property of a descriptor."""
+
+    desc: str
+    prop: str
+    expr: Expr
+
+    def execute(self, env: ActionEnv) -> None:
+        if self.desc in env.readonly:
+            raise ActionError(
+                f"rule action assigns to left-hand-side descriptor {self.desc!r}"
+            )
+        env.descriptor(self.desc)[self.prop] = env.eval(self.expr)
+
+    def __str__(self) -> str:
+        return f"{self.desc}.{self.prop} = {self.expr} ;"
+
+
+@dataclass(frozen=True)
+class AssignDesc:
+    """``D_a = D_b ;`` — copy a whole descriptor.
+
+    The source expression must evaluate to a descriptor (normally a bare
+    :class:`DescRef`).  The assignment copies *values*; it never aliases,
+    so subsequent writes to ``D_a`` cannot leak into ``D_b`` (the paper's
+    prohibition on mutating LHS descriptors depends on this).
+    """
+
+    desc: str
+    expr: Expr
+
+    def execute(self, env: ActionEnv) -> None:
+        if self.desc in env.readonly:
+            raise ActionError(
+                f"rule action assigns to left-hand-side descriptor {self.desc!r}"
+            )
+        value = env.eval(self.expr)
+        if not isinstance(value, Descriptor):
+            raise ActionError(
+                f"whole-descriptor assignment to {self.desc} needs a "
+                f"descriptor value, got {type(value).__name__}"
+            )
+        env.descriptor(self.desc).assign_from(value)
+
+    def __str__(self) -> str:
+        return f"{self.desc} = {self.expr} ;"
+
+
+Statement = Union[AssignProp, AssignDesc, "PyAction"]
+
+
+@dataclass(frozen=True)
+class PyAction:
+    """An opaque Python action with a declared write-set.
+
+    ``fn(env)`` runs arbitrary Python against the environment.  Because
+    P2V cannot inspect it, the properties it assigns (``writes``) and the
+    descriptors it fully overwrites (``desc_writes``) must be declared —
+    the "hints" of the paper's footnote 3.
+    """
+
+    fn: Callable[[ActionEnv], None]
+    writes: tuple[tuple[str, str], ...] = ()
+    desc_writes: tuple[str, ...] = ()
+    label: str = "<python action>"
+
+    def execute(self, env: ActionEnv) -> None:
+        for desc in self.desc_writes:
+            if desc in env.readonly:
+                raise ActionError(
+                    f"python action declares write to read-only {desc!r}"
+                )
+        for desc, _prop in self.writes:
+            if desc in env.readonly:
+                raise ActionError(
+                    f"python action declares write to read-only {desc!r}"
+                )
+        self.fn(env)
+
+    def __str__(self) -> str:
+        return f"{self.label} ;"
+
+
+class ActionBlock:
+    """An ordered block of statements (one ``{{ … }}`` group of a rule)."""
+
+    def __init__(self, statements: Sequence[Statement] = ()) -> None:
+        self.statements: tuple[Statement, ...] = tuple(statements)
+
+    def execute(self, env: ActionEnv) -> None:
+        for stmt in self.statements:
+            stmt.execute(env)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __bool__(self) -> bool:
+        return bool(self.statements)
+
+    # -- static analysis (used by P2V) -------------------------------------
+
+    def property_writes(self) -> frozenset[tuple[str, str]]:
+        """All (descriptor, property) pairs assigned at property granularity.
+
+        Whole-descriptor copies are *not* property writes: copying a
+        descriptor does not make any individual property "changed" in the
+        paper's classification sense (paper Section 3.1 classifies
+        ``tuple_order`` as physical because I-rule (5) assigns
+        ``D4.tuple_order``, not because it copies ``D4 = D1``).
+        """
+        writes: set[tuple[str, str]] = set()
+        for stmt in self.statements:
+            if isinstance(stmt, AssignProp):
+                writes.add((stmt.desc, stmt.prop))
+            elif isinstance(stmt, PyAction):
+                writes.update(stmt.writes)
+        return frozenset(writes)
+
+    def descriptor_writes(self) -> frozenset[str]:
+        """Names of descriptors assigned as a whole by this block."""
+        writes: set[str] = set()
+        for stmt in self.statements:
+            if isinstance(stmt, AssignDesc):
+                writes.add(stmt.desc)
+            elif isinstance(stmt, PyAction):
+                writes.update(stmt.desc_writes)
+        return frozenset(writes)
+
+    def assigned_descriptors(self) -> frozenset[str]:
+        """All descriptors touched by any assignment in this block."""
+        names = {d for d, _p in self.property_writes()}
+        names.update(self.descriptor_writes())
+        for stmt in self.statements:
+            if isinstance(stmt, AssignProp):
+                names.add(stmt.desc)
+        return frozenset(names)
+
+    def read_descriptors(self) -> frozenset[str]:
+        """All descriptors read by right-hand sides in this block."""
+        reads: set[str] = set()
+        for stmt in self.statements:
+            if isinstance(stmt, (AssignProp, AssignDesc)):
+                reads.update(expr_descriptor_reads(stmt.expr))
+        return frozenset(reads)
+
+    def __str__(self) -> str:
+        if not self.statements:
+            return "{{ }}"
+        body = "\n".join(f"    {stmt}" for stmt in self.statements)
+        return "{{\n" + body + "\n}}"
+
+
+EMPTY_BLOCK = ActionBlock()
+
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TestExpr:
+    """A rule test given as an action-language boolean expression."""
+
+    expr: Expr
+
+    def evaluate(self, env: ActionEnv) -> bool:
+        return bool(env.eval(self.expr))
+
+    def read_descriptors(self) -> frozenset[str]:
+        return expr_descriptor_reads(self.expr)
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return isinstance(self.expr, Lit) and self.expr.value is True
+
+    def __str__(self) -> str:
+        return "TRUE" if self.is_trivially_true else str(self.expr)
+
+
+@dataclass(frozen=True)
+class PyTest:
+    """A rule test given as an opaque Python predicate over the env."""
+
+    fn: Callable[[ActionEnv], bool]
+    label: str = "<python test>"
+
+    def evaluate(self, env: ActionEnv) -> bool:
+        return bool(self.fn(env))
+
+    def read_descriptors(self) -> frozenset[str]:
+        return frozenset()
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.label
+
+
+Test = Union[TestExpr, PyTest]
+
+TRUE_TEST = TestExpr(Lit(True))

@@ -1,0 +1,118 @@
+"""P2V's automatic classification pass (paper Section 3.1).
+
+Volcano forces users to classify every property as *logical*, *physical*,
+or an *operator/algorithm argument*, and to declare enforcers explicitly.
+The paper observes that this classification is rule-dependent and brittle;
+Prairie instead derives it mechanically from the rule set:
+
+* a property declared with type ``COST`` is a **cost** property;
+* a property assigned *at property granularity* in the pre-opt section of
+  any I-rule is a **physical property** (the paper's example: I-rule (5)
+  assigns ``D4.tuple_order`` in its pre-opt section, so ``tuple_order`` is
+  physical);
+* every remaining property is an **operator/algorithm argument**.
+
+Enforcer detection (Sections 2.5, 3.1): an operator with a Null I-rule is
+an **enforcer-operator**; the non-Null algorithms implementing it are
+**enforcer-algorithms** (they become Volcano enforcers, and the operator
+itself disappears during rule merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TranslationError
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+@dataclass(frozen=True)
+class RuleSetAnalysis:
+    """The classification P2V derives from a Prairie rule set.
+
+    All tuples preserve descriptor-schema / declaration order so that
+    generated property vectors are stable across runs.
+    """
+
+    cost_properties: tuple[str, ...]
+    physical_properties: tuple[str, ...]
+    argument_properties: tuple[str, ...]
+    enforcer_operators: tuple[str, ...]
+    enforcer_algorithms: tuple[str, ...]
+
+    @property
+    def cost_property(self) -> str:
+        """The single cost property (Volcano models one scalar cost)."""
+        return self.cost_properties[0]
+
+    def classify(self, prop: str) -> str:
+        """One of ``"cost"``, ``"physical"``, ``"argument"`` for ``prop``."""
+        if prop in self.cost_properties:
+            return "cost"
+        if prop in self.physical_properties:
+            return "physical"
+        return "argument"
+
+    def summary(self) -> dict[str, tuple[str, ...]]:
+        """A report-friendly mapping of the full classification."""
+        return {
+            "cost": self.cost_properties,
+            "physical": self.physical_properties,
+            "argument": self.argument_properties,
+            "enforcer_operators": self.enforcer_operators,
+            "enforcer_algorithms": self.enforcer_algorithms,
+        }
+
+
+def analyse(ruleset: PrairieRuleSet, i_rules=None) -> RuleSetAnalysis:
+    """Run the classification pass over a validated rule set.
+
+    ``i_rules`` optionally overrides the I-rules whose pre-opt sections
+    drive the physical-property classification.  The P2V translator
+    passes the *post-merge* I-rules here: a rule set written in the
+    non-compact style (paper Section 3.3's JOPR example) only exhibits
+    its physical-property assignments after requirement folding, exactly
+    as the paper's compact I-rule (5) does.
+    """
+    if i_rules is None:
+        i_rules = ruleset.i_rules
+    schema_order = ruleset.schema.names
+
+    cost_props = ruleset.schema.cost_properties()
+    if not cost_props:
+        raise TranslationError(
+            f"rule set {ruleset.name!r} declares no COST-typed property; "
+            f"Volcano needs one for branch-and-bound"
+        )
+    if len(cost_props) > 1:
+        raise TranslationError(
+            f"rule set {ruleset.name!r} declares multiple COST properties "
+            f"{cost_props}; the Volcano model carries exactly one cost"
+        )
+
+    # Physical: property-granular writes in I-rule pre-opt sections.
+    physical: set[str] = set()
+    for rule in i_rules:
+        for _desc, prop in rule.pre_opt.property_writes():
+            physical.add(prop)
+    physical -= set(cost_props)
+
+    argument = tuple(
+        p for p in schema_order if p not in physical and p not in cost_props
+    )
+    physical_ordered = tuple(p for p in schema_order if p in physical)
+
+    enforcer_ops = ruleset.null_ruled_operators()
+    enforcer_algs: list[str] = []
+    for op_name in enforcer_ops:
+        for rule in ruleset.i_rules_for(op_name):
+            if not rule.is_null_rule and rule.algorithm_name not in enforcer_algs:
+                enforcer_algs.append(rule.algorithm_name)
+
+    return RuleSetAnalysis(
+        cost_properties=cost_props,
+        physical_properties=physical_ordered,
+        argument_properties=argument,
+        enforcer_operators=enforcer_ops,
+        enforcer_algorithms=tuple(enforcer_algs),
+    )

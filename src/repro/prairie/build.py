@@ -1,0 +1,129 @@
+"""Concise builders for writing Prairie rules in Python.
+
+The textual DSL (:mod:`repro.prairie.dsl`) is the primary rule-writing
+surface; this module is the programmatic equivalent, used by rule sets
+defined in Python and heavily by the test suite.  It provides short
+aliases so that a rule reads close to the paper's notation::
+
+    rule = TRule(
+        name="join_commute",
+        lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D1"),
+        rhs=node("JOIN", var("S2"), var("S1"), desc="D2"),
+        post_test=block(
+            copy_desc("D2", "D1"),
+            assign("D2", "attributes",
+                   call("union", prop("DL2", "attributes"),
+                                 prop("DL1", "attributes"))),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
+from repro.prairie.actions import (
+    ActionBlock,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Expr,
+    Lit,
+    PropRef,
+    Statement,
+    TestExpr,
+    UnaryOp,
+)
+
+
+def var(name: str, descriptor: "str | None" = None) -> PatternVar:
+    """A pattern variable, optionally binding a descriptor name."""
+    return PatternVar(name, descriptor)
+
+
+def node(op_name: str, *inputs: PatternElem, desc: str) -> PatternNode:
+    """A pattern node ``OP(inputs…):desc``."""
+    return PatternNode(op_name, tuple(inputs), desc)
+
+
+def _expr(value: Any) -> Expr:
+    """Coerce Python values to action expressions (literals pass through)."""
+    if isinstance(value, (Lit, DescRef, PropRef, Call, BinOp, UnaryOp)):
+        return value
+    return Lit(value)
+
+
+def lit(value: Any) -> Lit:
+    return Lit(value)
+
+
+def desc(name: str) -> DescRef:
+    return DescRef(name)
+
+
+def prop(desc_name: str, prop_name: str) -> PropRef:
+    return PropRef(desc_name, prop_name)
+
+
+def call(func: str, *args: Any) -> Call:
+    return Call(func, tuple(_expr(a) for a in args))
+
+
+def add(left: Any, right: Any) -> BinOp:
+    return BinOp("+", _expr(left), _expr(right))
+
+
+def sub(left: Any, right: Any) -> BinOp:
+    return BinOp("-", _expr(left), _expr(right))
+
+
+def mul(left: Any, right: Any) -> BinOp:
+    return BinOp("*", _expr(left), _expr(right))
+
+
+def div(left: Any, right: Any) -> BinOp:
+    return BinOp("/", _expr(left), _expr(right))
+
+
+def eq(left: Any, right: Any) -> BinOp:
+    return BinOp("==", _expr(left), _expr(right))
+
+
+def ne(left: Any, right: Any) -> BinOp:
+    return BinOp("!=", _expr(left), _expr(right))
+
+
+def both(left: Any, right: Any) -> BinOp:
+    """Boolean AND (the action language's ``&&``)."""
+    return BinOp("&&", _expr(left), _expr(right))
+
+
+def either(left: Any, right: Any) -> BinOp:
+    """Boolean OR (the action language's ``||``)."""
+    return BinOp("||", _expr(left), _expr(right))
+
+
+def neg(operand: Any) -> UnaryOp:
+    """Boolean NOT (the action language's ``!``)."""
+    return UnaryOp("!", _expr(operand))
+
+
+def assign(desc_name: str, prop_name: str, value: Any) -> AssignProp:
+    """``D.prop = value ;``"""
+    return AssignProp(desc_name, prop_name, _expr(value))
+
+
+def copy_desc(target: str, source: str) -> AssignDesc:
+    """``D_target = D_source ;``"""
+    return AssignDesc(target, DescRef(source))
+
+
+def block(*statements: Statement) -> ActionBlock:
+    return ActionBlock(statements)
+
+
+def test(expr: Any) -> TestExpr:
+    return TestExpr(_expr(expr))

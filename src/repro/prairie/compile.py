@@ -1,0 +1,178 @@
+"""Compiling rule actions to Python functions (the generator stage).
+
+The Volcano optimizer *generator* compiles rule specifications together
+with the search engine to obtain an efficient optimizer (paper
+Figure 8); likewise, P2V's output must be executable without paying
+per-statement interpretation overhead at optimization time.  This module
+translates action ASTs into Python source and ``exec``-compiles them
+once, at translation time:
+
+* a :class:`~repro.prairie.actions.TestExpr` becomes
+  ``lambda env: <expression>``;
+* an :class:`~repro.prairie.actions.ActionBlock` becomes a function
+  executing its assignments against the environment's descriptor values
+  directly.
+
+The compiled code assumes what rule validation already guarantees
+statically — no assignments to left-hand-side descriptors, only
+schema-declared properties — so the runtime checks the tree-walking
+interpreter performs are safely elided.  Blocks containing opaque
+:class:`~repro.prairie.actions.PyAction` statements (or ``PyTest``
+tests) fall back to the interpreter, exactly like the paper's escape
+hatch for non-assignment actions (footnote 3).
+
+Helper calls bind directly to the registered callables; contextual
+helpers receive ``env.context`` as their first argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra.properties import DONT_CARE
+from repro.errors import TranslationError
+from repro.prairie.actions import (
+    ActionBlock,
+    ActionEnv,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Expr,
+    Lit,
+    PropRef,
+    PyAction,
+    PyTest,
+    Test,
+    TestExpr,
+    UnaryOp,
+)
+from repro.prairie.helpers import HelperRegistry
+
+_BINOP_SOURCE = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "&&": "and",
+    "||": "or",
+}
+
+
+class _Emitter:
+    """Collects generated source plus the globals it references."""
+
+    def __init__(self, helpers: HelperRegistry) -> None:
+        self.helpers = helpers
+        self.globals: dict[str, Any] = {"DONT_CARE": DONT_CARE}
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Lit):
+            if node.value is DONT_CARE:
+                return "DONT_CARE"
+            if isinstance(node.value, (bool, int, float, str)) or node.value is None:
+                return repr(node.value)
+            # Arbitrary literal objects (e.g. predicate values) are bound
+            # as globals rather than repr-ed.
+            name = f"_lit{len(self.globals)}"
+            self.globals[name] = node.value
+            return name
+        if isinstance(node, DescRef):
+            return f"_d[{node.desc!r}]"
+        if isinstance(node, PropRef):
+            return f"_d[{node.desc!r}]._values[{node.prop!r}]"
+        if isinstance(node, Call):
+            fn_name = f"_h_{node.func}"
+            if fn_name not in self.globals:
+                self.globals[fn_name] = self.helpers.get_function(node.func)
+            args = [self.expr(a) for a in node.args]
+            if not self.helpers.is_pure(node.func):
+                args.insert(0, "_ctx")
+            return f"{fn_name}({', '.join(args)})"
+        if isinstance(node, UnaryOp):
+            op = "not " if node.op == "!" else node.op
+            return f"({op}{self.expr(node.operand)})"
+        if isinstance(node, BinOp):
+            try:
+                op = _BINOP_SOURCE[node.op]
+            except KeyError:
+                raise TranslationError(
+                    f"cannot compile operator {node.op!r}"
+                ) from None
+            return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
+        raise TranslationError(f"cannot compile expression {node!r}")
+
+    def statement(self, stmt: "AssignProp | AssignDesc") -> str:
+        if isinstance(stmt, AssignProp):
+            return (
+                f"_d[{stmt.desc!r}]._values[{stmt.prop!r}] = {self.expr(stmt.expr)}"
+            )
+        if isinstance(stmt, AssignDesc):
+            # All descriptors share one schema, so every _values dict has
+            # the same key set: a plain update is a complete overwrite.
+            return (
+                f"_d[{stmt.desc!r}]._values.update(({self.expr(stmt.expr)})._values)"
+            )
+        raise TranslationError(f"cannot compile statement {stmt!r}")
+
+
+def _compile(source: str, emitter: _Emitter, name: str) -> Callable:
+    code = compile(source, filename=f"<prairie:{name}>", mode="exec")
+    namespace: dict[str, Any] = dict(emitter.globals)
+    exec(code, namespace)  # noqa: S102 - generating our own validated code
+    return namespace[name]
+
+
+def compile_block(
+    block: ActionBlock, helpers: HelperRegistry, name: str = "block"
+) -> Callable[[ActionEnv], None]:
+    """Compile an action block to ``fn(env) -> None``.
+
+    Falls back to the interpreter when the block contains opaque Python
+    actions (their behaviour cannot be code-generated).
+    """
+    if any(isinstance(stmt, PyAction) for stmt in block):
+        return block.execute
+    if not block.statements:
+        return _noop
+    emitter = _Emitter(helpers)
+    body = [emitter.statement(stmt) for stmt in block.statements]  # type: ignore[arg-type]
+    lines = [f"def {name}(env):", "    _d = env.descriptors", "    _ctx = env.context"]
+    lines.extend(f"    {line}" for line in body)
+    return _compile("\n".join(lines), emitter, name)
+
+
+def compile_test(
+    test: Test, helpers: HelperRegistry, name: str = "test"
+) -> Callable[[ActionEnv], bool]:
+    """Compile a rule test to ``fn(env) -> bool``."""
+    if isinstance(test, PyTest):
+        return test.evaluate
+    assert isinstance(test, TestExpr)
+    if test.is_trivially_true:
+        return _always_true
+    emitter = _Emitter(helpers)
+    expression = emitter.expr(test.expr)
+    source = (
+        f"def {name}(env):\n"
+        f"    _d = env.descriptors\n"
+        f"    _ctx = env.context\n"
+        f"    return bool({expression})"
+    )
+    return _compile(source, emitter, name)
+
+
+def _noop(env: ActionEnv) -> None:
+    return None
+
+
+def _always_true(env: ActionEnv) -> bool:
+    return True

@@ -1,0 +1,57 @@
+"""The textual Prairie specification language.
+
+The paper's P2V pre-processor is "4500 lines of flex and bison code"
+(Section 3) parsing a rule language whose shape Figures 2–7 show:
+
+.. code-block:: text
+
+    property tuple_order : order;
+    property cost : cost;
+
+    operator  JOIN(stream, stream);
+    algorithm Nested_loops(stream, stream);
+
+    irule join_nested_loops:
+        JOIN(?S1:D1, ?S2:D2):D3 => Nested_loops(?S1:D4, ?S2):D5
+        ( TRUE )
+        {{
+            D5 = D3;
+            D4 = D1;
+            D4.tuple_order = D3.tuple_order;
+        }}
+        {{
+            D5.cost = D4.cost + D4.num_records * D2.cost;
+        }}
+
+    trule join_commute:
+        JOIN(?S1:DL1, ?S2:DL2):D1 => JOIN(?S2, ?S1):D2
+        {{ }}
+        ( TRUE )
+        {{
+            D2 = D1;
+            D2.attributes = union(DL2.attributes, DL1.attributes);
+        }}
+
+T-rules carry *pre-test*, *test*, *post-test* in that order (paper
+Figure 2); I-rules carry *test*, *pre-opt*, *post-opt* (Figure 4).
+Pattern variables are written ``?NAME`` with an optional ``:DESC``
+descriptor binding; node descriptors are mandatory.
+
+Public API:
+
+* :func:`parse_spec` — source text → :class:`ParsedSpec` (pure syntax).
+* :func:`compile_spec` — source text + helper registry →
+  a validated :class:`~repro.prairie.ruleset.PrairieRuleSet`.
+"""
+
+from repro.prairie.dsl.lexer import Token, TokenKind, tokenize
+from repro.prairie.dsl.parser import ParsedSpec, compile_spec, parse_spec
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ParsedSpec",
+    "parse_spec",
+    "compile_spec",
+]

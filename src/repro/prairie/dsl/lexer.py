@@ -1,0 +1,240 @@
+"""Tokenizer for the Prairie specification language.
+
+A hand-written scanner (the paper used flex).  Produces a flat token
+stream with line/column positions for error reporting.  Notable choices:
+
+* ``{{`` and ``}}`` are single tokens (action-block delimiters, as in the
+  paper's figures); single braces are not used by the grammar.
+* Comments: ``//`` and ``#`` to end of line, ``/* … */`` block comments.
+* Keywords are recognized case-sensitively; ``TRUE``, ``FALSE`` and
+  ``DONT_CARE`` are literal tokens.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DslSyntaxError
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    DONT_CARE = "DONT_CARE"
+    LBRACE2 = "{{"
+    RBRACE2 = "}}"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOT = "."
+    QMARK = "?"
+    ARROW = "=>"
+    ASSIGN = "="
+    OP = "op"          # arithmetic / comparison / boolean operator
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "operator",
+        "algorithm",
+        "property",
+        "trule",
+        "irule",
+        "stream",
+        "file",
+        "helper",
+    }
+)
+
+# Multi-character operators first so maximal munch works.
+_OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> DslSyntaxError:
+        return DslSyntaxError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        # -- whitespace ----------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # -- comments --------------------------------------------------------
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        # -- block delimiters ----------------------------------------------
+        if source.startswith("{{", i):
+            tokens.append(Token(TokenKind.LBRACE2, "{{", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if source.startswith("}}", i):
+            tokens.append(Token(TokenKind.RBRACE2, "}}", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if source.startswith("=>", i):
+            tokens.append(Token(TokenKind.ARROW, "=>", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+
+        # -- operators (before '=' so '==' wins) ------------------------------
+        matched_op = None
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op is not None:
+            tokens.append(Token(TokenKind.OP, matched_op, start_line, start_col))
+            i += len(matched_op)
+            col += len(matched_op)
+            continue
+
+        # -- single-character punctuation -------------------------------------
+        singles = {
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            ",": TokenKind.COMMA,
+            ";": TokenKind.SEMI,
+            ":": TokenKind.COLON,
+            ".": TokenKind.DOT,
+            "?": TokenKind.QMARK,
+            "=": TokenKind.ASSIGN,
+        }
+        if ch in singles:
+            tokens.append(Token(singles[ch], ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        # -- string literals ---------------------------------------------------
+        if ch == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            text = "".join(buf)
+            tokens.append(Token(TokenKind.STRING, text, start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+
+        # -- numbers -----------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A trailing dot followed by a non-digit is punctuation.
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # -- names / keywords / literal words ------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            if text == "TRUE":
+                kind = TokenKind.TRUE
+            elif text == "FALSE":
+                kind = TokenKind.FALSE
+            elif text == "DONT_CARE":
+                kind = TokenKind.DONT_CARE
+            elif text in KEYWORDS:
+                kind = TokenKind.KEYWORD
+            else:
+                kind = TokenKind.NAME
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

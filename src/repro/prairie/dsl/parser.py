@@ -1,0 +1,467 @@
+"""Recursive-descent parser for the Prairie specification language.
+
+Grammar (EBNF; ``{{`` / ``}}`` are single tokens)::
+
+    spec        = { declaration } ;
+    declaration = property | operator | algorithm | helper | trule | irule ;
+    property    = "property" NAME ":" NAME [ "=" literal ] ";" ;
+    operator    = "operator"  NAME "(" kinds ")" ";" ;
+    algorithm   = "algorithm" NAME "(" kinds ")" ";" ;
+    helper      = "helper" NAME ";" ;
+    kinds       = kind { "," kind } ;
+    kind        = "stream" | "file" ;
+    trule       = "trule" NAME ":" pattern "=>" pattern
+                  block "(" expr ")" block ;            (* pre-test, test, post-test *)
+    irule       = "irule" NAME ":" pattern "=>" pattern
+                  "(" expr ")" block block ;            (* test, pre-opt, post-opt *)
+    pattern     = NAME "(" element { "," element } ")" ":" NAME ;
+    element     = "?" NAME [ ":" NAME ] | pattern ;
+    block       = "{{" { statement } "}}" ;
+    statement   = NAME "." NAME "=" expr ";"
+                | NAME "=" expr ";" ;
+    expr        = or ;  or = and {"||" and} ;  and = cmp {"&&" cmp} ;
+    cmp         = sum [ cmpop sum ] ;  sum = term {("+"|"-") term} ;
+    term        = unary {("*"|"/"|"%") unary} ;
+    unary       = ("!"|"-") unary | primary ;
+    primary     = NUMBER | STRING | TRUE | FALSE | DONT_CARE
+                | "(" expr ")"
+                | NAME "(" [ expr {"," expr} ] ")"       (* helper call *)
+                | NAME "." NAME                           (* property ref *)
+                | NAME ;                                  (* descriptor ref *)
+
+The parser builds real :class:`~repro.prairie.rules.TRule` /
+:class:`~repro.prairie.rules.IRule` objects (structural validation
+included); :func:`compile_spec` assembles the full
+:class:`~repro.prairie.ruleset.PrairieRuleSet` and validates helper
+references against the supplied registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.operations import (
+    Algorithm,
+    InputKind,
+    NULL_ALGORITHM_NAME,
+    Operator,
+)
+from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
+from repro.algebra.properties import (
+    DescriptorSchema,
+    DONT_CARE,
+    PropertyDef,
+    PropertyType,
+)
+from repro.errors import DslNameError, DslSyntaxError
+from repro.prairie.actions import (
+    ActionBlock,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Expr,
+    Lit,
+    PropRef,
+    Statement,
+    TestExpr,
+    UnaryOp,
+    walk_expr,
+)
+from repro.prairie.dsl.lexer import Token, TokenKind, tokenize
+from repro.prairie.helpers import HelperRegistry, default_helpers
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+_PROPERTY_TYPES = {t.value: t for t in PropertyType}
+_CMP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+@dataclass
+class ParsedSpec:
+    """The syntactic content of one Prairie specification file."""
+
+    properties: list[PropertyDef] = field(default_factory=list)
+    operators: list[Operator] = field(default_factory=list)
+    algorithms: list[Algorithm] = field(default_factory=list)
+    helper_names: list[str] = field(default_factory=list)
+    t_rules: list[TRule] = field(default_factory=list)
+    i_rules: list[IRule] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "properties": len(self.properties),
+            "operators": len(self.operators),
+            "algorithms": len(self.algorithms),
+            "t_rules": len(self.t_rules),
+            "i_rules": len(self.i_rules),
+        }
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> DslSyntaxError:
+        tok = self.current
+        return DslSyntaxError(
+            f"{message} (found {tok.kind.name} {tok.text!r})", tok.line, tok.column
+        )
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind: TokenKind, text: "str | None" = None) -> bool:
+        tok = self.current
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def accept(self, kind: TokenKind, text: "str | None" = None) -> "Token | None":
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: "str | None" = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            wanted = text if text is not None else kind.value
+            raise self.error(f"expected {wanted!r}")
+        return tok
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_spec(self) -> ParsedSpec:
+        spec = ParsedSpec()
+        while not self.check(TokenKind.EOF):
+            if self.check(TokenKind.KEYWORD, "property"):
+                spec.properties.append(self.parse_property())
+            elif self.check(TokenKind.KEYWORD, "operator"):
+                spec.operators.append(self.parse_operation(Operator))
+            elif self.check(TokenKind.KEYWORD, "algorithm"):
+                spec.algorithms.append(self.parse_operation(Algorithm))
+            elif self.check(TokenKind.KEYWORD, "helper"):
+                self.advance()
+                spec.helper_names.append(self.expect(TokenKind.NAME).text)
+                self.expect(TokenKind.SEMI)
+            elif self.check(TokenKind.KEYWORD, "trule"):
+                spec.t_rules.append(self.parse_trule())
+            elif self.check(TokenKind.KEYWORD, "irule"):
+                spec.i_rules.append(self.parse_irule())
+            else:
+                raise self.error("expected a declaration")
+        return spec
+
+    def parse_property(self) -> PropertyDef:
+        self.expect(TokenKind.KEYWORD, "property")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.COLON)
+        type_tok = self.expect(TokenKind.NAME)
+        ptype = _PROPERTY_TYPES.get(type_tok.text)
+        if ptype is None:
+            raise DslSyntaxError(
+                f"unknown property type {type_tok.text!r} "
+                f"(one of {sorted(_PROPERTY_TYPES)})",
+                type_tok.line,
+                type_tok.column,
+            )
+        default: Any = DONT_CARE
+        if self.accept(TokenKind.ASSIGN):
+            default = self.parse_literal()
+        self.expect(TokenKind.SEMI)
+        return PropertyDef(name, ptype, default)
+
+    def parse_literal(self) -> Any:
+        if self.accept(TokenKind.TRUE):
+            return True
+        if self.accept(TokenKind.FALSE):
+            return False
+        if self.accept(TokenKind.DONT_CARE):
+            return DONT_CARE
+        tok = self.accept(TokenKind.NUMBER)
+        if tok is not None:
+            return float(tok.text) if "." in tok.text else int(tok.text)
+        tok = self.accept(TokenKind.STRING)
+        if tok is not None:
+            return tok.text
+        raise self.error("expected a literal")
+
+    def parse_operation(self, cls: type) -> Any:
+        self.advance()  # 'operator' / 'algorithm'
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        kinds: list[InputKind] = []
+        while True:
+            tok = self.current
+            if self.accept(TokenKind.KEYWORD, "stream"):
+                kinds.append(InputKind.STREAM)
+            elif self.accept(TokenKind.KEYWORD, "file"):
+                kinds.append(InputKind.FILE)
+            else:
+                raise self.error("expected 'stream' or 'file'")
+            if not self.accept(TokenKind.COMMA):
+                break
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return cls(name, tuple(kinds))
+
+    # -- rules -------------------------------------------------------------------
+
+    def parse_trule(self) -> TRule:
+        self.expect(TokenKind.KEYWORD, "trule")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.COLON)
+        lhs = self.parse_pattern_node()
+        self.expect(TokenKind.ARROW)
+        rhs = self.parse_pattern_node()
+        pre_test = self.parse_block()
+        self.expect(TokenKind.LPAREN)
+        test_expr = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        post_test = self.parse_block()
+        return TRule(
+            name=name,
+            lhs=lhs,
+            rhs=rhs,
+            pre_test=pre_test,
+            test=TestExpr(test_expr),
+            post_test=post_test,
+        )
+
+    def parse_irule(self) -> IRule:
+        self.expect(TokenKind.KEYWORD, "irule")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.COLON)
+        lhs = self.parse_pattern_node()
+        self.expect(TokenKind.ARROW)
+        rhs = self.parse_pattern_node()
+        self.expect(TokenKind.LPAREN)
+        test_expr = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        pre_opt = self.parse_block()
+        post_opt = self.parse_block()
+        return IRule(
+            name=name,
+            lhs=lhs,
+            rhs=rhs,
+            test=TestExpr(test_expr),
+            pre_opt=pre_opt,
+            post_opt=post_opt,
+        )
+
+    def parse_pattern_node(self) -> PatternNode:
+        op_name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        elements: list[PatternElem] = [self.parse_pattern_element()]
+        while self.accept(TokenKind.COMMA):
+            elements.append(self.parse_pattern_element())
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.COLON)
+        descriptor = self.expect(TokenKind.NAME).text
+        return PatternNode(op_name, tuple(elements), descriptor)
+
+    def parse_pattern_element(self) -> PatternElem:
+        if self.accept(TokenKind.QMARK):
+            var_name = self.expect(TokenKind.NAME).text
+            descriptor = None
+            if self.accept(TokenKind.COLON):
+                descriptor = self.expect(TokenKind.NAME).text
+            return PatternVar(var_name, descriptor)
+        return self.parse_pattern_node()
+
+    def parse_block(self) -> ActionBlock:
+        self.expect(TokenKind.LBRACE2)
+        statements: list[Statement] = []
+        while not self.check(TokenKind.RBRACE2):
+            statements.append(self.parse_statement())
+        self.expect(TokenKind.RBRACE2)
+        return ActionBlock(statements)
+
+    def parse_statement(self) -> Statement:
+        desc = self.expect(TokenKind.NAME).text
+        if self.accept(TokenKind.DOT):
+            prop = self.expect(TokenKind.NAME).text
+            self.expect(TokenKind.ASSIGN)
+            value = self.parse_expr()
+            self.expect(TokenKind.SEMI)
+            return AssignProp(desc, prop, value)
+        self.expect(TokenKind.ASSIGN)
+        value = self.parse_expr()
+        self.expect(TokenKind.SEMI)
+        return AssignDesc(desc, value)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check(TokenKind.OP, "||"):
+            self.advance()
+            left = BinOp("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.check(TokenKind.OP, "&&"):
+            self.advance()
+            left = BinOp("&&", left, self.parse_cmp())
+        return left
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_sum()
+        tok = self.current
+        if tok.kind is TokenKind.OP and tok.text in _CMP_OPS:
+            self.advance()
+            return BinOp(tok.text, left, self.parse_sum())
+        return left
+
+    def parse_sum(self) -> Expr:
+        left = self.parse_term()
+        while self.current.kind is TokenKind.OP and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.kind is TokenKind.OP and self.current.text in (
+            "*",
+            "/",
+            "%",
+        ):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.kind is TokenKind.OP and self.current.text in ("!", "-"):
+            op = self.advance().text
+            return UnaryOp(op, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        if self.accept(TokenKind.TRUE):
+            return Lit(True)
+        if self.accept(TokenKind.FALSE):
+            return Lit(False)
+        if self.accept(TokenKind.DONT_CARE):
+            return Lit(DONT_CARE)
+        tok = self.accept(TokenKind.NUMBER)
+        if tok is not None:
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return Lit(value)
+        tok = self.accept(TokenKind.STRING)
+        if tok is not None:
+            return Lit(tok.text)
+        if self.accept(TokenKind.LPAREN):
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        name_tok = self.accept(TokenKind.NAME)
+        if name_tok is not None:
+            if self.accept(TokenKind.LPAREN):
+                args: list[Expr] = []
+                if not self.check(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self.accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                self.expect(TokenKind.RPAREN)
+                return Call(name_tok.text, tuple(args))
+            if self.accept(TokenKind.DOT):
+                prop = self.expect(TokenKind.NAME).text
+                return PropRef(name_tok.text, prop)
+            return DescRef(name_tok.text)
+        raise self.error("expected an expression")
+
+
+def parse_spec(source: str) -> ParsedSpec:
+    """Parse Prairie specification text into a :class:`ParsedSpec`."""
+    return _Parser(tokenize(source)).parse_spec()
+
+
+def compile_spec(
+    source: str,
+    name: str = "spec",
+    helpers: "HelperRegistry | None" = None,
+) -> PrairieRuleSet:
+    """Parse and assemble a complete, validated Prairie rule set.
+
+    ``helpers`` supplies the helper-function implementations the spec's
+    ``helper`` declarations and call sites refer to; defaults to the
+    built-in registry.  Every helper called anywhere in the spec must be
+    present, otherwise :class:`~repro.errors.DslNameError` is raised.
+    """
+    spec = parse_spec(source)
+    registry = helpers if helpers is not None else default_helpers()
+
+    schema = DescriptorSchema(spec.properties)
+    ruleset = PrairieRuleSet(name, schema=schema, helpers=registry)
+    for op in spec.operators:
+        ruleset.declare_operator(op)
+    for alg in spec.algorithms:
+        if alg.name != NULL_ALGORITHM_NAME:  # Null is implicit
+            ruleset.declare_algorithm(alg)
+    for rule in spec.t_rules:
+        ruleset.add_trule(rule)
+    for rule in spec.i_rules:
+        ruleset.add_irule(rule)
+
+    _check_names(spec, ruleset, registry)
+    ruleset.validate()
+    return ruleset
+
+
+def _check_names(
+    spec: ParsedSpec, ruleset: PrairieRuleSet, registry: HelperRegistry
+) -> None:
+    """Resolve helper and property references across the whole spec."""
+    for declared in spec.helper_names:
+        if declared not in registry:
+            raise DslNameError(
+                f"declared helper {declared!r} is not in the registry"
+            )
+
+    def check_expr(where: str, expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, Call) and node.func not in registry:
+                raise DslNameError(f"{where}: unknown helper {node.func!r}")
+            if isinstance(node, PropRef) and node.prop not in ruleset.schema:
+                raise DslNameError(
+                    f"{where}: unknown property {node.prop!r}"
+                )
+
+    def check_block(where: str, block: ActionBlock) -> None:
+        for stmt in block:
+            if isinstance(stmt, AssignProp):
+                if stmt.prop not in ruleset.schema:
+                    raise DslNameError(
+                        f"{where}: assignment to unknown property {stmt.prop!r}"
+                    )
+                check_expr(where, stmt.expr)
+            elif isinstance(stmt, AssignDesc):
+                check_expr(where, stmt.expr)
+
+    for t_rule in spec.t_rules:
+        where = f"trule {t_rule.name!r}"
+        check_block(where, t_rule.pre_test)
+        if isinstance(t_rule.test, TestExpr):
+            check_expr(where, t_rule.test.expr)
+        check_block(where, t_rule.post_test)
+    for i_rule in spec.i_rules:
+        where = f"irule {i_rule.name!r}"
+        if isinstance(i_rule.test, TestExpr):
+            check_expr(where, i_rule.test.expr)
+        check_block(where, i_rule.pre_opt)
+        check_block(where, i_rule.post_opt)

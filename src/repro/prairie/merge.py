@@ -1,0 +1,458 @@
+"""P2V rule merging: enforcer-operator elimination (paper Section 3.3).
+
+Enforcer-operators (operators with a Null implementation) exist only in
+the Prairie model; Volcano has no counterpart, so P2V deletes them from
+every T-rule before translation.  Deleting a node can leave a rule in one
+of three shapes:
+
+* **identity** — both sides became the same single operator over the same
+  variables (our rule sets' ``JOIN ⇒ JOIN(SORT(·), ·)`` sort-introduction
+  rules): the rule is dropped entirely;
+* **renaming** — the sides became two different single operators over the
+  same variables (the paper's ``JOIN ⇒ JOPR(SORT(·), SORT(·))`` example):
+  the rule is dropped, the right operator is *aliased* to the left one
+  everywhere, and the orphaned requirement assignments (the statements
+  that set properties of the deleted enforcer node, e.g.
+  ``D4.tuple_order = …``) are folded into the pre-opt sections of the
+  aliased operator's I-rules — reconstructing exactly the compact
+  ``JOIN ⇒ Nested_loops(S1:D4, S2)`` rule of the paper;
+* **anything else** — the spliced rule is kept as a T-rule; orphaned
+  assignments are dropped (reported), because a purely logical Volcano
+  trans_rule has nowhere to put physical requirements — the enforcer
+  mechanism re-creates them during search.
+
+The pass reports everything it did in a :class:`MergeReport` so the
+productivity benchmarks (Section 4.2) can show the rule-count arithmetic:
+#T-rules = #trans_rules + #deleted rules, #I-rules = #impl_rules +
+#enforcer-algorithms + #Null rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.algebra.patterns import (
+    PatternElem,
+    PatternNode,
+    PatternVar,
+    pattern_vars,
+)
+from repro.errors import TranslationError
+from repro.prairie.actions import (
+    ActionBlock,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Expr,
+    Lit,
+    PropRef,
+    PyAction,
+    Statement,
+    TestExpr,
+    UnaryOp,
+    expr_descriptor_reads,
+)
+from repro.prairie.analysis import RuleSetAnalysis
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+@dataclass
+class MergeReport:
+    """Human-readable record of what the merge pass did."""
+
+    deleted_identity_rules: list[str] = field(default_factory=list)
+    deleted_renaming_rules: list[str] = field(default_factory=list)
+    operator_aliases: dict[str, str] = field(default_factory=dict)
+    modified_t_rules: list[str] = field(default_factory=list)
+    dropped_requirements: list[str] = field(default_factory=list)
+    merged_i_rules: list[str] = field(default_factory=list)
+
+    @property
+    def deleted_t_rule_count(self) -> int:
+        return len(self.deleted_identity_rules) + len(self.deleted_renaming_rules)
+
+    def lines(self) -> list[str]:
+        out = []
+        for name in self.deleted_identity_rules:
+            out.append(f"deleted T-rule {name!r} (identity after enforcer deletion)")
+        for name in self.deleted_renaming_rules:
+            out.append(f"deleted T-rule {name!r} (renaming after enforcer deletion)")
+        for alias, target in self.operator_aliases.items():
+            out.append(f"aliased operator {alias!r} -> {target!r}")
+        for name in self.modified_t_rules:
+            out.append(f"spliced enforcer-operators out of T-rule {name!r}")
+        for note in self.dropped_requirements:
+            out.append(f"dropped requirement: {note}")
+        for name in self.merged_i_rules:
+            out.append(f"folded requirements into I-rule {name!r}")
+        return out
+
+
+@dataclass
+class MergedRules:
+    """Output of the merge pass, consumed by the translator."""
+
+    t_rules: list[TRule]
+    i_rules: list[IRule]            # ordinary operators (→ impl_rules)
+    enforcer_i_rules: list[IRule]   # enforcer-operator algorithms (→ enforcers)
+    null_i_rules: list[IRule]       # dropped: implicit in Volcano
+    report: MergeReport
+
+
+@dataclass
+class _FoldInfo:
+    """Requirement assignments orphaned by deleting enforcers from a
+    renaming T-rule, plus the name mappings needed to re-home them."""
+
+    rule_name: str
+    statements: list[AssignProp]
+    lhs_root_desc: str
+    rhs_root_desc: str
+    var_to_lhs_desc: dict  # variable -> its LHS descriptor name (if any)
+    orphan_to_var: dict    # orphan descriptor -> variable it wrapped
+
+
+# ---------------------------------------------------------------------------
+# Pattern surgery
+# ---------------------------------------------------------------------------
+
+
+def delete_enforcer_nodes(
+    elem: PatternElem, enforcer_ops: frozenset[str]
+) -> tuple[PatternElem, dict]:
+    """Splice enforcer-operator nodes out of a pattern.
+
+    Returns the new pattern and a mapping
+    ``orphan descriptor name -> variable name`` (the variable the deleted
+    node wrapped, or ``None`` when it wrapped another node).
+    """
+    orphans: dict = {}
+
+    def rec(e: PatternElem) -> PatternElem:
+        if isinstance(e, PatternVar):
+            return e
+        new_inputs = tuple(rec(c) for c in e.inputs)
+        node = PatternNode(e.op_name, new_inputs, e.descriptor)
+        if node.op_name in enforcer_ops:
+            if len(node.inputs) != 1:
+                raise TranslationError(
+                    f"enforcer-operator {node.op_name!r} used with arity "
+                    f"{len(node.inputs)}; enforcer-operators take one stream"
+                )
+            child = node.inputs[0]
+            orphans[node.descriptor] = (
+                child.var if isinstance(child, PatternVar) else None
+            )
+            return child
+        return node
+
+    return rec(elem), orphans
+
+
+def _is_flat(node: PatternElem) -> bool:
+    return isinstance(node, PatternNode) and all(
+        isinstance(c, PatternVar) for c in node.inputs
+    )
+
+
+def _var_order(node: PatternNode) -> tuple[str, ...]:
+    return tuple(v.var for v in pattern_vars(node))
+
+
+# ---------------------------------------------------------------------------
+# Statement surgery
+# ---------------------------------------------------------------------------
+
+
+def _partition_block(
+    block: ActionBlock, orphan_descs: frozenset[str], rule_name: str
+) -> tuple[list[Statement], list[AssignProp]]:
+    """Split a block into (kept statements, orphan requirement assignments).
+
+    Whole-descriptor copies into orphans are silently dropped (they only
+    initialized the deleted node); property assignments to orphans are the
+    requirements we try to fold.  Kept statements must not *read* orphan
+    descriptors — that would leave dangling references.
+    """
+    kept: list[Statement] = []
+    folded: list[AssignProp] = []
+    for stmt in block:
+        if isinstance(stmt, AssignProp) and stmt.desc in orphan_descs:
+            folded.append(stmt)
+            continue
+        if isinstance(stmt, AssignDesc) and stmt.desc in orphan_descs:
+            continue
+        if isinstance(stmt, (AssignProp, AssignDesc)):
+            reads = expr_descriptor_reads(stmt.expr)
+            if reads & orphan_descs:
+                raise TranslationError(
+                    f"T-rule {rule_name!r}: statement {stmt} reads the "
+                    f"descriptor of a deleted enforcer-operator node"
+                )
+        kept.append(stmt)
+    return kept, folded
+
+
+def rename_expr_descriptors(expr: Expr, mapping: dict) -> Expr:
+    """A copy of an action expression with descriptor names substituted."""
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, DescRef):
+        return DescRef(mapping.get(expr.desc, expr.desc))
+    if isinstance(expr, PropRef):
+        return PropRef(mapping.get(expr.desc, expr.desc), expr.prop)
+    if isinstance(expr, Call):
+        return Call(
+            expr.func,
+            tuple(rename_expr_descriptors(a, mapping) for a in expr.args),
+        )
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            rename_expr_descriptors(expr.left, mapping),
+            rename_expr_descriptors(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rename_expr_descriptors(expr.operand, mapping))
+    raise TranslationError(f"cannot rename descriptors in {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# The merge pass
+# ---------------------------------------------------------------------------
+
+
+def merge_rules(ruleset: PrairieRuleSet, analysis: RuleSetAnalysis) -> MergedRules:
+    """Run enforcer-operator elimination over a validated Prairie rule set."""
+    enforcer_ops = frozenset(analysis.enforcer_operators)
+    report = MergeReport()
+    kept_t: list[TRule] = []
+    folds: dict[str, list[_FoldInfo]] = {}  # aliased operator -> fold infos
+
+    for rule in ruleset.t_rules:
+        new_lhs, orphans_l = delete_enforcer_nodes(rule.lhs, enforcer_ops)
+        new_rhs, orphans_r = delete_enforcer_nodes(rule.rhs, enforcer_ops)
+        if not orphans_l and not orphans_r:
+            kept_t.append(rule)
+            continue
+        if isinstance(new_lhs, PatternVar) or isinstance(new_rhs, PatternVar):
+            raise TranslationError(
+                f"T-rule {rule.name!r} reduces to a bare variable after "
+                f"enforcer-operator deletion"
+            )
+        orphan_descs = frozenset(orphans_l) | frozenset(orphans_r)
+        kept_pre, folded_pre = _partition_block(
+            rule.pre_test, orphan_descs, rule.name
+        )
+        kept_post, folded_post = _partition_block(
+            rule.post_test, orphan_descs, rule.name
+        )
+        if isinstance(rule.test, TestExpr):
+            if rule.test.read_descriptors() & orphan_descs:
+                raise TranslationError(
+                    f"T-rule {rule.name!r}: test reads the descriptor of a "
+                    f"deleted enforcer-operator node"
+                )
+        folded = folded_pre + folded_post
+
+        if (
+            _is_flat(new_lhs)
+            and _is_flat(new_rhs)
+            and _var_order(new_lhs) == _var_order(new_rhs)
+        ):
+            if new_lhs.op_name == new_rhs.op_name:
+                # Pure identity: the rule only introduced enforcers.
+                report.deleted_identity_rules.append(rule.name)
+                continue
+            # Renaming (the paper's JOIN ⇒ JOPR example): alias + fold.
+            alias, target = new_rhs.op_name, new_lhs.op_name
+            existing = report.operator_aliases.get(alias)
+            if existing is not None and existing != target:
+                raise TranslationError(
+                    f"operator {alias!r} is aliased to both {existing!r} "
+                    f"and {target!r}"
+                )
+            report.operator_aliases[alias] = target
+            report.deleted_renaming_rules.append(rule.name)
+            var_to_lhs_desc = {
+                v.var: v.descriptor
+                for v in pattern_vars(rule.lhs)
+                if v.descriptor is not None
+            }
+            folds.setdefault(alias, []).append(
+                _FoldInfo(
+                    rule_name=rule.name,
+                    statements=folded,
+                    lhs_root_desc=new_lhs.descriptor,
+                    rhs_root_desc=new_rhs.descriptor,
+                    var_to_lhs_desc=var_to_lhs_desc,
+                    orphan_to_var={
+                        d: v
+                        for d, v in {**orphans_l, **orphans_r}.items()
+                        if v is not None
+                    },
+                )
+            )
+            continue
+
+        # General case: keep the spliced rule; physical requirements are
+        # re-created by the enforcer mechanism during search.
+        for stmt in folded:
+            report.dropped_requirements.append(
+                f"T-rule {rule.name!r}: {stmt} (enforcer mechanism covers it)"
+            )
+        report.modified_t_rules.append(rule.name)
+        assert isinstance(new_lhs, PatternNode) and isinstance(new_rhs, PatternNode)
+        kept_t.append(
+            TRule(
+                name=rule.name,
+                lhs=new_lhs,
+                rhs=new_rhs,
+                pre_test=ActionBlock(kept_pre),
+                test=rule.test,
+                post_test=ActionBlock(kept_post),
+                doc=rule.doc,
+            )
+        )
+
+    aliases = report.operator_aliases
+    # Apply aliases to the surviving T-rules' patterns.
+    if aliases:
+        kept_t = [_alias_t_rule(rule, aliases) for rule in kept_t]
+
+    ordinary: list[IRule] = []
+    enforcer_rules: list[IRule] = []
+    null_rules: list[IRule] = []
+    for rule in ruleset.i_rules:
+        if rule.operator_name in enforcer_ops:
+            if rule.is_null_rule:
+                null_rules.append(rule)
+            else:
+                enforcer_rules.append(rule)
+            continue
+        if rule.operator_name in aliases:
+            merged = _fold_into_i_rule(
+                rule, aliases[rule.operator_name], folds.get(rule.operator_name, [])
+            )
+            report.merged_i_rules.append(rule.name)
+            ordinary.append(merged)
+        else:
+            ordinary.append(rule)
+
+    return MergedRules(
+        t_rules=kept_t,
+        i_rules=ordinary,
+        enforcer_i_rules=enforcer_rules,
+        null_i_rules=null_rules,
+        report=report,
+    )
+
+
+def _alias_t_rule(rule: TRule, aliases: dict) -> TRule:
+    from repro.algebra.patterns import rename_operation
+
+    lhs, rhs = rule.lhs, rule.rhs
+    changed = False
+    for alias, target in aliases.items():
+        new_lhs = rename_operation(lhs, alias, target)
+        new_rhs = rename_operation(rhs, alias, target)
+        if new_lhs is not lhs or new_rhs is not rhs:
+            changed = changed or (new_lhs != lhs or new_rhs != rhs)
+        lhs, rhs = new_lhs, new_rhs
+    if not changed:
+        return rule
+    assert isinstance(lhs, PatternNode) and isinstance(rhs, PatternNode)
+    return TRule(
+        name=rule.name,
+        lhs=lhs,
+        rhs=rhs,
+        pre_test=rule.pre_test,
+        test=rule.test,
+        post_test=rule.post_test,
+        doc=rule.doc,
+    )
+
+
+def _fold_into_i_rule(rule: IRule, target_op: str, folds: list[_FoldInfo]) -> IRule:
+    """Rewrite an I-rule of an aliased operator onto the target operator,
+    prepending the folded requirement assignments to its pre-opt block.
+
+    Descriptor names from the deleted T-rule are re-homed:
+
+    * the T-rule's LHS and RHS root descriptors → the I-rule's operator
+      descriptor (both describe the same logical node once merged);
+    * a variable's LHS descriptor in the T-rule → the same variable's LHS
+      descriptor in the I-rule;
+    * an orphan (deleted enforcer node's) descriptor → the same
+      variable's RHS requirement descriptor in the I-rule, synthesized
+      when the I-rule did not declare one.
+    """
+    new_lhs = PatternNode(target_op, rule.lhs.inputs, rule.lhs.descriptor)
+
+    rhs_inputs = list(rule.rhs.inputs)
+    var_positions = {v: i for i, v in enumerate(rule.input_vars)}
+
+    prepended: list[Statement] = []
+    for fold in folds:
+        mapping: dict = {
+            fold.lhs_root_desc: rule.lhs_descriptor,
+            fold.rhs_root_desc: rule.lhs_descriptor,
+        }
+        for var, desc in fold.var_to_lhs_desc.items():
+            position = var_positions.get(var)
+            if position is None:
+                raise TranslationError(
+                    f"cannot fold T-rule {fold.rule_name!r} into I-rule "
+                    f"{rule.name!r}: variable {var!r} is not an input"
+                )
+            i_desc = rule.lhs_input_descriptor(position)
+            if i_desc is not None:
+                mapping[desc] = i_desc
+        for orphan, var in fold.orphan_to_var.items():
+            position = var_positions.get(var)
+            if position is None:
+                raise TranslationError(
+                    f"cannot fold T-rule {fold.rule_name!r} into I-rule "
+                    f"{rule.name!r}: variable {var!r} is not an input"
+                )
+            existing = rhs_inputs[position]
+            assert isinstance(existing, PatternVar)
+            if existing.descriptor is None:
+                fresh = f"_Req{position}"
+                rhs_inputs[position] = PatternVar(existing.var, fresh)
+                mapping[orphan] = fresh
+            else:
+                mapping[orphan] = existing.descriptor
+        for stmt in fold.statements:
+            reads = expr_descriptor_reads(stmt.expr)
+            unmapped = {
+                d for d in reads if d not in mapping and d != stmt.desc
+            } - rule.lhs_descriptors - rule.rhs_descriptors
+            if unmapped:
+                raise TranslationError(
+                    f"cannot fold {stmt} from T-rule {fold.rule_name!r}: "
+                    f"descriptor(s) {sorted(unmapped)} have no counterpart "
+                    f"in I-rule {rule.name!r}"
+                )
+            prepended.append(
+                AssignProp(
+                    mapping.get(stmt.desc, stmt.desc),
+                    stmt.prop,
+                    rename_expr_descriptors(stmt.expr, mapping),
+                )
+            )
+
+    new_rhs = PatternNode(rule.rhs.op_name, tuple(rhs_inputs), rule.rhs.descriptor)
+    return IRule(
+        name=rule.name,
+        lhs=new_lhs,
+        rhs=new_rhs,
+        test=rule.test,
+        pre_opt=ActionBlock(prepended + list(rule.pre_opt)),
+        post_opt=rule.post_opt,
+        doc=rule.doc,
+    )

@@ -1,0 +1,254 @@
+"""Prairie transformation rules (T-rules) and implementation rules (I-rules).
+
+T-rules (paper Section 2.3) define equivalences among pairs of operator
+expressions::
+
+    E(x1,…,xn) : D_a  ⇒  E'(x1,…,xn) : D_b
+    {{ pre-test statements }}
+    test
+    {{ post-test statements }}
+
+I-rules (paper Section 2.4) define equivalences between a single operator
+application and an implementing algorithm::
+
+    O(x1,…,xn) : D_a  ⇒  A(x1 : D_1', …, xn) : D_b
+    test
+    {{ pre-opt statements }}     # run before the inputs are optimized
+    {{ post-opt statements }}    # run after the inputs are optimized
+
+The *Null* algorithm I-rule (Section 2.5) is an ordinary I-rule whose
+right-hand side names the ``Null`` algorithm; its presence is what makes
+an operator an enforcer-operator in the eyes of P2V.
+
+Rules validate themselves structurally at construction; rule-set level
+checks (operator declarations, first-class-ness) happen in
+:mod:`repro.prairie.ruleset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.algebra.operations import NULL_ALGORITHM_NAME
+from repro.algebra.patterns import (
+    PatternElem,
+    PatternNode,
+    PatternVar,
+    descriptor_names,
+    pattern_nodes,
+    pattern_vars,
+    validate_pattern,
+)
+from repro.errors import RuleError
+from repro.prairie.actions import ActionBlock, EMPTY_BLOCK, Test, TRUE_TEST
+
+
+def _lhs_descriptor_names(lhs: PatternElem) -> frozenset[str]:
+    """Descriptor names bound (read-only) by a left-hand side."""
+    return frozenset(descriptor_names(lhs))
+
+
+def _check_actions_respect_lhs(
+    rule_name: str,
+    lhs_descs: frozenset[str],
+    rhs_descs: frozenset[str],
+    blocks: Iterable[ActionBlock],
+) -> None:
+    """Enforce the paper's core action discipline.
+
+    "Descriptors on the left-hand side of a rule are never changed in the
+    rule's actions" (Section 2.3) — every assignment target must be a
+    descriptor introduced on the right-hand side.
+    """
+    for block in blocks:
+        for desc in block.assigned_descriptors():
+            if desc in lhs_descs:
+                raise RuleError(
+                    f"rule {rule_name!r}: action assigns to left-hand-side "
+                    f"descriptor {desc!r}"
+                )
+            if desc not in rhs_descs:
+                raise RuleError(
+                    f"rule {rule_name!r}: action assigns to unknown "
+                    f"descriptor {desc!r}"
+                )
+
+
+@dataclass
+class TRule:
+    """A transformation rule: operator tree ⇒ equivalent operator tree.
+
+    ``pre_test`` runs first (it typically computes the output descriptors
+    the test needs), then ``test`` decides applicability, then
+    ``post_test`` completes the output descriptors.  All three see the
+    left-hand-side descriptors read-only.
+    """
+
+    name: str
+    lhs: PatternNode
+    rhs: PatternNode
+    pre_test: ActionBlock = field(default_factory=ActionBlock)
+    test: Test = TRUE_TEST
+    post_test: ActionBlock = field(default_factory=ActionBlock)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        validate_pattern(self.lhs, f"T-rule {self.name!r} lhs")
+        validate_pattern(self.rhs, f"T-rule {self.name!r} rhs")
+        lhs_vars = {v.var for v in pattern_vars(self.lhs)}
+        rhs_vars = {v.var for v in pattern_vars(self.rhs)}
+        if lhs_vars != rhs_vars:
+            raise RuleError(
+                f"T-rule {self.name!r}: sides bind different variables "
+                f"({sorted(lhs_vars)} vs {sorted(rhs_vars)})"
+            )
+        for var in pattern_vars(self.rhs):
+            if var.descriptor is not None:
+                raise RuleError(
+                    f"T-rule {self.name!r}: right-hand-side variable "
+                    f"{var.var!r} may not introduce a descriptor (T-rules "
+                    f"are purely logical; use enforcer-operators instead)"
+                )
+        lhs_descs = _lhs_descriptor_names(self.lhs)
+        rhs_descs = frozenset(descriptor_names(self.rhs))
+        overlap = lhs_descs & rhs_descs
+        if overlap:
+            raise RuleError(
+                f"T-rule {self.name!r}: descriptor name(s) {sorted(overlap)} "
+                f"appear on both sides"
+            )
+        _check_actions_respect_lhs(
+            self.name, lhs_descs, rhs_descs, (self.pre_test, self.post_test)
+        )
+
+    # -- accessors used by P2V ---------------------------------------------
+
+    @property
+    def lhs_descriptors(self) -> frozenset[str]:
+        return _lhs_descriptor_names(self.lhs)
+
+    @property
+    def rhs_descriptors(self) -> frozenset[str]:
+        return frozenset(descriptor_names(self.rhs))
+
+    def operations(self) -> frozenset[str]:
+        """All operator names mentioned on either side."""
+        names = {n.op_name for n in pattern_nodes(self.lhs)}
+        names.update(n.op_name for n in pattern_nodes(self.rhs))
+        return frozenset(names)
+
+    def __str__(self) -> str:
+        return f"T-rule {self.name}: {self.lhs} => {self.rhs}"
+
+
+@dataclass
+class IRule:
+    """An implementation rule: one operator application ⇒ one algorithm.
+
+    The left-hand side is a single operator applied to distinct variables;
+    the right-hand side applies the implementing algorithm to the same
+    variables in the same order.  Right-hand-side variables may introduce
+    fresh descriptors that carry *requirements* on how the corresponding
+    input must be optimized (the ``S1 : D4`` of I-rule (5)); physical
+    properties assigned to those descriptors in ``pre_opt`` become the
+    input property vectors of the generated Volcano rule.
+    """
+
+    name: str
+    lhs: PatternNode
+    rhs: PatternNode
+    test: Test = TRUE_TEST
+    pre_opt: ActionBlock = field(default_factory=ActionBlock)
+    post_opt: ActionBlock = field(default_factory=ActionBlock)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        validate_pattern(self.lhs, f"I-rule {self.name!r} lhs")
+        validate_pattern(self.rhs, f"I-rule {self.name!r} rhs")
+        for side, pattern in (("lhs", self.lhs), ("rhs", self.rhs)):
+            for child in pattern.inputs:
+                if not isinstance(child, PatternVar):
+                    raise RuleError(
+                        f"I-rule {self.name!r}: {side} must be a single "
+                        f"operation over variables (factor deeper shapes "
+                        f"through T-rules, cf. paper footnote 5)"
+                    )
+        lhs_vars = [v.var for v in pattern_vars(self.lhs)]
+        rhs_vars = [v.var for v in pattern_vars(self.rhs)]
+        if lhs_vars != rhs_vars:
+            raise RuleError(
+                f"I-rule {self.name!r}: sides must bind the same variables "
+                f"in the same order ({lhs_vars} vs {rhs_vars})"
+            )
+        lhs_descs = _lhs_descriptor_names(self.lhs)
+        rhs_descs = frozenset(descriptor_names(self.rhs))
+        overlap = lhs_descs & rhs_descs
+        if overlap:
+            raise RuleError(
+                f"I-rule {self.name!r}: descriptor name(s) {sorted(overlap)} "
+                f"appear on both sides"
+            )
+        _check_actions_respect_lhs(
+            self.name, lhs_descs, rhs_descs, (self.pre_opt, self.post_opt)
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def operator_name(self) -> str:
+        return self.lhs.op_name
+
+    @property
+    def algorithm_name(self) -> str:
+        return self.rhs.op_name
+
+    @property
+    def is_null_rule(self) -> bool:
+        """True when this rule implements its operator by ``Null``.
+
+        Such rules mark the operator as an enforcer-operator (paper
+        Sections 2.5, 3.1).
+        """
+        return self.algorithm_name == NULL_ALGORITHM_NAME
+
+    @property
+    def arity(self) -> int:
+        return len(self.lhs.inputs)
+
+    @property
+    def lhs_descriptor(self) -> str:
+        """The operator node's descriptor name (read-only in actions)."""
+        return self.lhs.descriptor
+
+    @property
+    def rhs_descriptor(self) -> str:
+        """The algorithm node's descriptor name."""
+        return self.rhs.descriptor
+
+    @property
+    def input_vars(self) -> tuple[str, ...]:
+        return tuple(v.var for v in pattern_vars(self.lhs))
+
+    def lhs_input_descriptor(self, index: int) -> "str | None":
+        """Descriptor name bound to the ``index``-th input on the LHS."""
+        var = self.lhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    def rhs_input_descriptor(self, index: int) -> "str | None":
+        """Fresh requirement-descriptor of the ``index``-th input, if any."""
+        var = self.rhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    @property
+    def lhs_descriptors(self) -> frozenset[str]:
+        return _lhs_descriptor_names(self.lhs)
+
+    @property
+    def rhs_descriptors(self) -> frozenset[str]:
+        return frozenset(descriptor_names(self.rhs))
+
+    def __str__(self) -> str:
+        return f"I-rule {self.name}: {self.lhs} => {self.rhs}"

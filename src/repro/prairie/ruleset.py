@@ -1,0 +1,224 @@
+"""Prairie rule sets: the complete optimizer specification.
+
+A :class:`PrairieRuleSet` is everything a user writes to define an
+optimizer in Prairie (paper Figure 8's "Prairie rules + support
+functions"): the operator and algorithm declarations, the single
+descriptor schema, the helper functions, and the T- and I-rules.  It is
+the input to the P2V pre-processor.
+
+Rule sets enforce the framework's uniformity guarantees at validation
+time:
+
+* *first-class operations* — rules may mention **only** declared
+  operators and algorithms, and **any** declared operation may appear in
+  any rule (paper Section 1, goal 1);
+* every non-Null algorithm is reachable through at least one I-rule;
+* Null I-rules have the exact single-input shape of Section 2.5;
+* rule names are unique.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.operations import (
+    Algorithm,
+    NULL_ALGORITHM_NAME,
+    Operator,
+    make_null_algorithm,
+)
+from repro.algebra.patterns import PatternNode, pattern_nodes
+from repro.algebra.properties import DescriptorSchema
+from repro.errors import RuleSetError
+from repro.prairie.helpers import HelperRegistry, default_helpers
+from repro.prairie.rules import IRule, TRule
+
+
+class PrairieRuleSet:
+    """All rules, declarations, and helpers of one Prairie optimizer."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: DescriptorSchema,
+        helpers: "HelperRegistry | None" = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.helpers = helpers if helpers is not None else default_helpers()
+        self.operators: dict[str, Operator] = {}
+        self.algorithms: dict[str, Algorithm] = {}
+        self.t_rules: list[TRule] = []
+        self.i_rules: list[IRule] = []
+        # The Null algorithm is always available (Section 2.5).
+        null = make_null_algorithm()
+        self.algorithms[null.name] = null
+
+    # -- declarations --------------------------------------------------------
+
+    def declare_operator(self, op: Operator) -> Operator:
+        if op.name in self.operators or op.name in self.algorithms:
+            raise RuleSetError(f"duplicate operation name {op.name!r}")
+        self.operators[op.name] = op
+        return op
+
+    def declare_algorithm(self, alg: Algorithm) -> Algorithm:
+        if alg.name in self.operators or alg.name in self.algorithms:
+            raise RuleSetError(f"duplicate operation name {alg.name!r}")
+        self.algorithms[alg.name] = alg
+        return alg
+
+    def add_trule(self, rule: TRule) -> TRule:
+        self._check_unique_name(rule.name)
+        self.t_rules.append(rule)
+        return rule
+
+    def add_irule(self, rule: IRule) -> IRule:
+        self._check_unique_name(rule.name)
+        self.i_rules.append(rule)
+        return rule
+
+    def _check_unique_name(self, name: str) -> None:
+        existing = {r.name for r in self.t_rules}
+        existing.update(r.name for r in self.i_rules)
+        if name in existing:
+            raise RuleSetError(f"duplicate rule name {name!r}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def rules(self) -> Iterator["TRule | IRule"]:
+        yield from self.t_rules
+        yield from self.i_rules
+
+    def i_rules_for(self, operator_name: str) -> list[IRule]:
+        """All I-rules implementing the named operator."""
+        return [r for r in self.i_rules if r.operator_name == operator_name]
+
+    def algorithms_for(self, operator_name: str) -> list[Algorithm]:
+        """Algorithms implementing the named operator (per the I-rules)."""
+        names = []
+        for rule in self.i_rules_for(operator_name):
+            if rule.algorithm_name not in names:
+                names.append(rule.algorithm_name)
+        return [self.algorithms[n] for n in names]
+
+    def null_ruled_operators(self) -> tuple[str, ...]:
+        """Operators with a Null I-rule — the enforcer-operators."""
+        names = []
+        for rule in self.i_rules:
+            if rule.is_null_rule and rule.operator_name not in names:
+                names.append(rule.operator_name)
+        return tuple(names)
+
+    # -- validation ---------------------------------------------------------------
+
+    def problems(self) -> list[str]:
+        """All rule-set-level violations, as human-readable strings."""
+        issues: list[str] = []
+        issues.extend(self._check_rule_operations())
+        issues.extend(self._check_algorithm_coverage())
+        issues.extend(self._check_null_rules())
+        return issues
+
+    def validate(self) -> None:
+        """Raise :class:`RuleSetError` when :meth:`problems` is non-empty."""
+        issues = self.problems()
+        if issues:
+            raise RuleSetError(
+                f"rule set {self.name!r} is invalid:\n  "
+                + "\n  ".join(issues)
+            )
+
+    def _check_rule_operations(self) -> list[str]:
+        issues = []
+        for rule in self.t_rules:
+            for side_name, side in (("lhs", rule.lhs), ("rhs", rule.rhs)):
+                for node in pattern_nodes(side):
+                    issues.extend(
+                        self._check_operator_node(
+                            f"T-rule {rule.name!r} {side_name}", node
+                        )
+                    )
+        for rule in self.i_rules:
+            issues.extend(
+                self._check_operator_node(f"I-rule {rule.name!r} lhs", rule.lhs)
+            )
+            alg = self.algorithms.get(rule.algorithm_name)
+            if alg is None:
+                issues.append(
+                    f"I-rule {rule.name!r}: rhs names undeclared algorithm "
+                    f"{rule.algorithm_name!r}"
+                )
+            elif alg.arity != len(rule.rhs.inputs):
+                issues.append(
+                    f"I-rule {rule.name!r}: {alg.name} takes {alg.arity} "
+                    f"input(s), pattern has {len(rule.rhs.inputs)}"
+                )
+        return issues
+
+    def _check_operator_node(self, where: str, node: PatternNode) -> list[str]:
+        op = self.operators.get(node.op_name)
+        if op is None:
+            return [
+                f"{where}: {node.op_name!r} is not a declared operator "
+                f"(operators and algorithms are first-class: only declared "
+                f"ones may appear in rules)"
+            ]
+        if op.arity != len(node.inputs):
+            return [
+                f"{where}: {op.name} takes {op.arity} input(s), "
+                f"pattern has {len(node.inputs)}"
+            ]
+        return []
+
+    def _check_algorithm_coverage(self) -> list[str]:
+        used = {r.algorithm_name for r in self.i_rules}
+        issues = []
+        for name in self.algorithms:
+            if name == NULL_ALGORITHM_NAME:
+                continue
+            if name not in used:
+                issues.append(
+                    f"algorithm {name!r} is declared but no I-rule uses it"
+                )
+        return issues
+
+    def _check_null_rules(self) -> list[str]:
+        issues = []
+        for rule in self.i_rules:
+            if not rule.is_null_rule:
+                continue
+            if rule.arity != 1:
+                issues.append(
+                    f"Null I-rule {rule.name!r}: the Null algorithm takes "
+                    f"exactly one stream input (paper Section 2.5)"
+                )
+                continue
+            if rule.rhs_input_descriptor(0) is None:
+                issues.append(
+                    f"Null I-rule {rule.name!r}: the pass-through input "
+                    f"needs a fresh descriptor to convey property "
+                    f"propagation (the D3 of Equation (6))"
+                )
+        return issues
+
+    # -- statistics (used by the Section 4.2 productivity benchmark) -----------
+
+    def counts(self) -> dict[str, int]:
+        """Rule-set size summary: operators, algorithms, T-rules, I-rules."""
+        return {
+            "operators": len(self.operators),
+            "algorithms": len(self.algorithms) - 1,  # Null is framework-owned
+            "t_rules": len(self.t_rules),
+            "i_rules": len(self.i_rules),
+            "helpers": len(self.helpers.names),
+            "properties": len(self.schema),
+        }
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"PrairieRuleSet({self.name!r}, {c['operators']} operators, "
+            f"{c['algorithms']} algorithms, {c['t_rules']} T-rules, "
+            f"{c['i_rules']} I-rules)"
+        )

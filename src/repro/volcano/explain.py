@@ -1,0 +1,104 @@
+"""EXPLAIN-style rendering of optimization results.
+
+Downstream users of an optimizer live in its EXPLAIN output; this
+module renders an :class:`~repro.volcano.search.OptimizationResult` the
+way database shells do — one line per plan node with the estimated
+rows, per-node cost, and the operator arguments that matter (predicates,
+orders, attributes chased) — plus an optional search summary and a memo
+dump for the curious.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.properties import DONT_CARE
+from repro.volcano.search import OptimizationResult
+
+_DETAIL_PROPS = (
+    ("selection_predicate", "filter"),
+    ("join_predicate", "join on"),
+    ("mat_attribute", "materialize"),
+    ("unnest_attribute", "unnest"),
+    ("projected_attributes", "project"),
+    ("tuple_order", "order"),
+)
+
+
+def _node_details(node: Expression) -> str:
+    parts = []
+    descriptor = node.descriptor
+    for prop, label in _DETAIL_PROPS:
+        value = descriptor.get(prop, DONT_CARE)
+        if value is DONT_CARE or value is None:
+            continue
+        if isinstance(value, tuple):
+            value = ", ".join(str(v) for v in value)
+        parts.append(f"{label}: {value}")
+    return "; ".join(parts)
+
+
+def explain_plan(plan: "Expression | StoredFileRef") -> str:
+    """A multi-line EXPLAIN rendering of one access plan."""
+    lines: list[str] = []
+
+    def emit(node, depth: int) -> None:
+        indent = "  " * depth
+        if isinstance(node, StoredFileRef):
+            lines.append(f"{indent}-> {node.name} (stored file)")
+            return
+        descriptor = node.descriptor
+        rows = descriptor.get("num_records", DONT_CARE)
+        cost = descriptor.get("cost", DONT_CARE)
+        rows_text = f"rows≈{rows:.0f}" if rows is not DONT_CARE else "rows=?"
+        cost_text = f"cost={cost:.2f}" if cost is not DONT_CARE else "cost=?"
+        details = _node_details(node)
+        suffix = f"  [{details}]" if details else ""
+        lines.append(f"{indent}-> {node.op.name}  ({rows_text}, {cost_text}){suffix}")
+        for child in node.inputs:
+            emit(child, depth + 1)
+
+    emit(plan, 0)
+    return "\n".join(lines)
+
+
+def explain(result: OptimizationResult, verbose: bool = False) -> str:
+    """EXPLAIN for a full optimization result.
+
+    ``verbose`` appends the search statistics and, beyond that, the memo
+    contents (every equivalence class with its alternatives) — the
+    paper's Figure 14 raw material.
+    """
+    sections = [explain_plan(result.plan)]
+    sections.append(
+        f"\ntotal estimated cost: {result.cost:.2f}"
+    )
+    if verbose:
+        stats = result.stats.as_dict()
+        stat_lines = [
+            "search statistics:",
+            f"  equivalence classes : {stats['groups']}",
+            f"  memo expressions    : {stats['mexprs']}",
+            f"  trans rules matched : {stats['trans_rules_matched']}"
+            f" (applicable {stats['trans_rules_applicable']})",
+            f"  impl rules matched  : {stats['impl_rules_matched']}"
+            f" (applicable {stats['impl_rules_applicable']})",
+            f"  rule firings        : {stats['trans_fired']}",
+            f"  plans costed        : {stats['impl_succeeded']}",
+            f"  enforcers applied   : {stats['enforcer_applied']}",
+            f"  elapsed             : {stats['elapsed_seconds'] * 1000:.2f} ms",
+        ]
+        sections.append("\n" + "\n".join(stat_lines))
+    return "\n".join(sections)
+
+
+def explain_memo(result: OptimizationResult, limit: "int | None" = 40) -> str:
+    """Dump the memo's equivalence classes (truncated to ``limit``)."""
+    lines = []
+    groups = result.memo.groups if limit is None else result.memo.groups[:limit]
+    for group in groups:
+        members = "; ".join(str(m) for m in group.mexprs)
+        lines.append(f"g{group.gid} ({len(group.mexprs)} alt): {members}")
+    hidden = result.memo.group_count - len(groups)
+    if hidden > 0:
+        lines.append(f"... and {hidden} more equivalence classes")
+    return "\n".join(lines)

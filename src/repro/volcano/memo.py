@@ -1,0 +1,180 @@
+"""The memo table: equivalence classes of logically equivalent expressions.
+
+Volcano (like its predecessor EXODUS and successors such as Cascades)
+never materializes whole operator trees during search.  Instead it keeps
+a *memo*: a set of **groups** (equivalence classes), each containing
+**memo expressions** (m-exprs) — single operator applications whose
+inputs are references to other groups.  Every operator tree in the search
+space corresponds to a choice of one m-expr per group reachable from the
+root group.
+
+Figure 14 of the paper plots the number of equivalence classes against
+query size; :attr:`Memo.group_count` is exactly that number.
+
+Identity & duplicate elimination
+--------------------------------
+Two m-exprs are the same logical expression iff they apply the same
+operator to the same input groups with the same *operator argument*
+(the P2V-classified argument part of the descriptor — e.g. the join
+predicate, but not the requested tuple order).  The memo hashes this
+identity so transformation rules can fire to a fixpoint without looping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.errors import SearchError
+
+
+@dataclass
+class MExpr:
+    """One memo expression: an operator over input groups, or a file leaf.
+
+    ``op_name`` is an operator name for interior expressions and the file
+    name for leaves (``is_file`` distinguishes them).  ``descriptor`` is
+    the expression's full Prairie descriptor: argument properties give the
+    expression its identity; stream-describing properties (cardinalities,
+    attributes) inform cost functions.
+    """
+
+    op_name: str
+    inputs: tuple[int, ...]
+    descriptor: Descriptor
+    is_file: bool = False
+    group_id: int = -1
+
+    def key(self, argument_properties: tuple[str, ...]) -> tuple:
+        """The m-expr's identity for duplicate elimination."""
+        if self.is_file:
+            return ("file", self.op_name)
+        return (self.op_name, self.inputs, self.descriptor.project(argument_properties))
+
+    def __str__(self) -> str:
+        if self.is_file:
+            return self.op_name
+        args = ", ".join(f"g{gid}" for gid in self.inputs)
+        return f"{self.op_name}({args})"
+
+
+@dataclass
+class Group:
+    """An equivalence class: all known logically equivalent m-exprs.
+
+    ``logical_descriptor`` describes the stream every member produces
+    (attributes, cardinality…) — by definition of logical equivalence it
+    is shared by all members; the memo takes it from the first inserted
+    member.  ``winners`` caches the best physical plan found per required
+    physical-property vector (filled in by the search engine).
+    """
+
+    gid: int
+    logical_descriptor: Descriptor
+    mexprs: list[MExpr] = field(default_factory=list)
+    winners: dict = field(default_factory=dict)
+    explored: bool = False
+
+    @property
+    def is_file_group(self) -> bool:
+        return len(self.mexprs) == 1 and self.mexprs[0].is_file
+
+    def __iter__(self) -> Iterator[MExpr]:
+        return iter(self.mexprs)
+
+    def __len__(self) -> int:
+        return len(self.mexprs)
+
+
+class Memo:
+    """The memo table: groups plus the global duplicate-elimination index."""
+
+    def __init__(self, argument_properties: tuple[str, ...]) -> None:
+        self.argument_properties = argument_properties
+        self.groups: list[Group] = []
+        self._index: dict[tuple, MExpr] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def group(self, gid: int) -> Group:
+        try:
+            return self.groups[gid]
+        except IndexError:
+            raise SearchError(f"no group g{gid}") from None
+
+    def new_group(self, logical_descriptor: Descriptor) -> Group:
+        group = Group(len(self.groups), logical_descriptor)
+        self.groups.append(group)
+        return group
+
+    def insert(
+        self, mexpr: MExpr, group_id: "int | None" = None
+    ) -> tuple[MExpr, bool]:
+        """Insert an m-expr, deduplicating globally.
+
+        Returns ``(canonical m-expr, inserted)``.  When the expression is
+        already known, the existing m-expr is returned and nothing
+        changes — in particular it is *not* moved between groups (two
+        groups containing a common expression would mean the rule set
+        proved them equal; we keep the original home, which is the
+        standard memo behaviour for this reproduction's rule sets).
+        When new: it is appended to ``group_id`` if given, else to a
+        fresh group whose logical descriptor is the m-expr's descriptor.
+        """
+        key = mexpr.key(self.argument_properties)
+        existing = self._index.get(key)
+        if existing is not None:
+            return existing, False
+        if group_id is None:
+            group = self.new_group(mexpr.descriptor)
+        else:
+            group = self.group(group_id)
+        mexpr.group_id = group.gid
+        group.mexprs.append(mexpr)
+        self._index[key] = mexpr
+        return mexpr, True
+
+    def add_file(self, leaf: StoredFileRef) -> MExpr:
+        """Intern a stored-file leaf (one group per distinct file)."""
+        mexpr = MExpr(leaf.name, (), leaf.descriptor, is_file=True)
+        canonical, _created = self.insert(mexpr)
+        return canonical
+
+    def from_expression(self, tree: "Expression | StoredFileRef") -> Group:
+        """Encode an initialized operator tree; returns the root group."""
+        mexpr = self._encode(tree)
+        return self.group(mexpr.group_id)
+
+    def _encode(self, node: "Expression | StoredFileRef") -> MExpr:
+        if isinstance(node, StoredFileRef):
+            return self.add_file(node)
+        child_groups = tuple(self._encode(c).group_id for c in node.inputs)
+        mexpr = MExpr(node.op.name, child_groups, node.descriptor.copy())
+        canonical, _created = self.insert(mexpr)
+        return canonical
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        """Number of equivalence classes (the paper's Figure 14 metric)."""
+        return len(self.groups)
+
+    @property
+    def mexpr_count(self) -> int:
+        return len(self._index)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "groups": self.group_count,
+            "mexprs": self.mexpr_count,
+        }
+
+    def __str__(self) -> str:
+        lines = []
+        for group in self.groups:
+            members = "; ".join(str(m) for m in group.mexprs)
+            lines.append(f"g{group.gid}: {members}")
+        return "\n".join(lines)

@@ -1,0 +1,342 @@
+"""The Volcano rule model: trans_rules, impl_rules, and enforcers.
+
+This is the *target* representation of the P2V pre-processor (paper
+Section 3) and simultaneously the representation a user writes when
+hand-coding an optimizer "directly in Volcano" (the paper's baseline).
+
+The Volcano model is deliberately lower-level than Prairie's:
+
+* **trans_rules** transform logical expressions; their behaviour is two
+  callables, ``cond_code`` (may the rule fire?) and ``appl_code``
+  (complete the output descriptors).
+* **impl_rules** implement an operator by an algorithm; besides
+  ``cond_code``, each algorithm drags along the four helper functions the
+  paper names in Table 4(b): ``do_any_good`` (build the algorithm
+  argument and decide whether to pursue this alternative),
+  ``get_input_pv`` (the physical properties each input must deliver),
+  ``derive_phy_prop`` (the physical properties the algorithm delivers),
+  and ``cost`` (the algorithm's cost once input costs are known).
+* **enforcers** are algorithms that exist solely to establish physical
+  properties (the paper's example: a sort enforcer).  In Prairie they are
+  ordinary I-rules of an enforcer-operator; P2V generates these objects.
+
+All callables receive an :class:`~repro.prairie.actions.ActionEnv` whose
+descriptor bindings the engine prepares (see
+:mod:`repro.volcano.search`); generated rules interpret their Prairie
+action blocks against it, hand-coded rules manipulate it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.patterns import PatternNode, PatternVar, pattern_vars
+from repro.algebra.properties import DescriptorSchema
+from repro.errors import RuleSetError
+from repro.prairie.actions import ActionEnv
+from repro.prairie.helpers import HelperRegistry
+from repro.volcano.properties import PropertyVector
+
+CondCode = Callable[[ActionEnv], bool]
+ApplCode = Callable[[ActionEnv], None]
+DoAnyGood = Callable[[ActionEnv], bool]
+GetInputPV = Callable[[ActionEnv, int], PropertyVector]
+DerivePhyProp = Callable[[ActionEnv], PropertyVector]
+CostFn = Callable[[ActionEnv], float]
+
+
+def _side_descriptor_names(side: PatternNode) -> frozenset[str]:
+    names = {side.descriptor}
+    for var in pattern_vars(side):
+        if var.descriptor:
+            names.add(var.descriptor)
+    return frozenset(names)
+
+
+@dataclass
+class TransRule:
+    """A Volcano transformation rule over logical expressions.
+
+    ``lhs``/``rhs`` are patterns; the engine binds the LHS against memo
+    expressions, prepares fresh descriptors for the RHS names, and runs
+    ``cond_code`` then (on success) ``appl_code``.
+    """
+
+    name: str
+    lhs: PatternNode
+    rhs: PatternNode
+    cond_code: CondCode
+    appl_code: ApplCode
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.algebra.patterns import descriptor_names
+
+        # Cached: the engine consults these on every rule application.
+        self._lhs_desc_names = frozenset(descriptor_names(self.lhs))
+        self._rhs_desc_names = frozenset(descriptor_names(self.rhs))
+
+    @property
+    def lhs_descriptor_names(self) -> frozenset[str]:
+        return self._lhs_desc_names
+
+    @property
+    def rhs_descriptor_names(self) -> frozenset[str]:
+        return self._rhs_desc_names
+
+    def __str__(self) -> str:
+        return f"trans_rule {self.name}: {self.lhs} -> {self.rhs}"
+
+
+@dataclass
+class ImplRule:
+    """A Volcano implementation rule: operator → algorithm.
+
+    The LHS is a single operator application over variables; the RHS the
+    corresponding algorithm application.  RHS variables may carry fresh
+    descriptor names whose physical properties (filled by
+    ``do_any_good``) define the input property vectors.
+    """
+
+    name: str
+    operator: str
+    algorithm: Algorithm
+    lhs: PatternNode
+    rhs: PatternNode
+    cond_code: CondCode
+    do_any_good: DoAnyGood
+    get_input_pv: GetInputPV
+    derive_phy_prop: DerivePhyProp
+    cost: CostFn
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lhs.op_name != self.operator:
+            raise RuleSetError(
+                f"impl_rule {self.name!r}: lhs operator {self.lhs.op_name!r} "
+                f"!= declared operator {self.operator!r}"
+            )
+        if self.rhs.op_name != self.algorithm.name:
+            raise RuleSetError(
+                f"impl_rule {self.name!r}: rhs algorithm {self.rhs.op_name!r} "
+                f"!= declared algorithm {self.algorithm.name!r}"
+            )
+        self._lhs_desc_names = _side_descriptor_names(self.lhs)
+        self._rhs_desc_names = _side_descriptor_names(self.rhs)
+
+    # -- binding metadata the engine needs ---------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.lhs.inputs)
+
+    @property
+    def op_desc_name(self) -> str:
+        return self.lhs.descriptor
+
+    @property
+    def alg_desc_name(self) -> str:
+        return self.rhs.descriptor
+
+    def lhs_input_desc(self, index: int) -> "str | None":
+        var = self.lhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    def rhs_input_desc(self, index: int) -> "str | None":
+        var = self.rhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    @property
+    def lhs_descriptor_names(self) -> frozenset[str]:
+        return self._lhs_desc_names
+
+    @property
+    def rhs_descriptor_names(self) -> frozenset[str]:
+        return self._rhs_desc_names
+
+    def __str__(self) -> str:
+        return f"impl_rule {self.name}: {self.operator} -> {self.algorithm.name}"
+
+
+@dataclass
+class Enforcer:
+    """A Volcano enforcer: an algorithm establishing physical properties.
+
+    Structurally a single-input impl_rule; ``operator`` records the
+    Prairie enforcer-operator it came from (or a synthetic name when
+    hand-coded).  The engine applies enforcers at *group* level whenever
+    a non-trivial property vector is requested: the enforcer's plan is
+    ``algorithm(plan for the same group under a relaxed vector)``.
+    """
+
+    name: str
+    operator: str
+    algorithm: Algorithm
+    lhs: PatternNode
+    rhs: PatternNode
+    cond_code: CondCode
+    do_any_good: DoAnyGood
+    get_input_pv: GetInputPV
+    derive_phy_prop: DerivePhyProp
+    cost: CostFn
+    doc: str = ""
+
+    @property
+    def op_desc_name(self) -> str:
+        return self.lhs.descriptor
+
+    @property
+    def alg_desc_name(self) -> str:
+        return self.rhs.descriptor
+
+    def lhs_input_desc(self, index: int) -> "str | None":
+        var = self.lhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    def rhs_input_desc(self, index: int) -> "str | None":
+        var = self.rhs.inputs[index]
+        assert isinstance(var, PatternVar)
+        return var.descriptor
+
+    def __post_init__(self) -> None:
+        self._lhs_desc_names = _side_descriptor_names(self.lhs)
+        self._rhs_desc_names = _side_descriptor_names(self.rhs)
+
+    @property
+    def lhs_descriptor_names(self) -> frozenset[str]:
+        return self._lhs_desc_names
+
+    @property
+    def rhs_descriptor_names(self) -> frozenset[str]:
+        return self._rhs_desc_names
+
+    def __str__(self) -> str:
+        return f"enforcer {self.name}: {self.algorithm.name}"
+
+
+class VolcanoRuleSet:
+    """A complete Volcano optimizer specification.
+
+    Produced either by hand (the paper's baseline approach) or by the P2V
+    pre-processor from a Prairie rule set.  ``provenance`` records which,
+    for the comparison benchmarks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: DescriptorSchema,
+        helpers: HelperRegistry,
+        physical_properties: tuple[str, ...],
+        argument_properties: tuple[str, ...],
+        cost_property: str,
+        provenance: str = "hand-coded",
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.helpers = helpers
+        self.physical_properties = physical_properties
+        self.argument_properties = argument_properties
+        self.cost_property = cost_property
+        self.provenance = provenance
+        self.operators: dict[str, Operator] = {}
+        self.algorithms: dict[str, Algorithm] = {}
+        self.trans_rules: list[TransRule] = []
+        self.impl_rules: list[ImplRule] = []
+        self.enforcers: list[Enforcer] = []
+        self._impl_by_operator: dict[str, list[ImplRule]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def declare_operator(self, op: Operator) -> Operator:
+        if op.name in self.operators:
+            raise RuleSetError(f"duplicate operator {op.name!r}")
+        self.operators[op.name] = op
+        return op
+
+    def declare_algorithm(self, alg: Algorithm) -> Algorithm:
+        if alg.name in self.algorithms:
+            raise RuleSetError(f"duplicate algorithm {alg.name!r}")
+        self.algorithms[alg.name] = alg
+        return alg
+
+    def add_trans_rule(self, rule: TransRule) -> TransRule:
+        self.trans_rules.append(rule)
+        return rule
+
+    def add_impl_rule(self, rule: ImplRule) -> ImplRule:
+        self.impl_rules.append(rule)
+        self._impl_by_operator.setdefault(rule.operator, []).append(rule)
+        return rule
+
+    def add_enforcer(self, enforcer: Enforcer) -> Enforcer:
+        self.enforcers.append(enforcer)
+        return enforcer
+
+    # -- queries ----------------------------------------------------------------
+
+    def impl_rules_for(self, operator_name: str) -> list[ImplRule]:
+        return self._impl_by_operator.get(operator_name, [])
+
+    def counts(self) -> dict[str, int]:
+        """Size summary used by the Section 4.2 productivity comparison."""
+        return {
+            "operators": len(self.operators),
+            "algorithms": len(self.algorithms),
+            "trans_rules": len(self.trans_rules),
+            "impl_rules": len(self.impl_rules),
+            "enforcers": len(self.enforcers),
+        }
+
+    def validate(self) -> None:
+        """Whole-rule-set sanity checks (raises :class:`RuleSetError`)."""
+        issues: list[str] = []
+        for rule in self.impl_rules:
+            if rule.operator not in self.operators:
+                issues.append(
+                    f"impl_rule {rule.name!r}: unknown operator {rule.operator!r}"
+                )
+            if rule.algorithm.name not in self.algorithms:
+                issues.append(
+                    f"impl_rule {rule.name!r}: unknown algorithm "
+                    f"{rule.algorithm.name!r}"
+                )
+        for rule in self.trans_rules:
+            from repro.algebra.patterns import pattern_nodes
+
+            for side in (rule.lhs, rule.rhs):
+                for node in pattern_nodes(side):
+                    if node.op_name not in self.operators:
+                        issues.append(
+                            f"trans_rule {rule.name!r}: unknown operator "
+                            f"{node.op_name!r}"
+                        )
+        for op_name in self.operators:
+            if not self.impl_rules_for(op_name):
+                issues.append(
+                    f"operator {op_name!r} has no impl_rule: queries using "
+                    f"it can never be implemented"
+                )
+        seen: set[str] = set()
+        for rule in (*self.trans_rules, *self.impl_rules, *self.enforcers):
+            if rule.name in seen:
+                issues.append(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+        if issues:
+            raise RuleSetError(
+                f"Volcano rule set {self.name!r} is invalid:\n  "
+                + "\n  ".join(issues)
+            )
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"VolcanoRuleSet({self.name!r}, {self.provenance}, "
+            f"{c['trans_rules']} trans_rules, {c['impl_rules']} impl_rules, "
+            f"{c['enforcers']} enforcers)"
+        )

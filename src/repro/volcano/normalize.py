@@ -1,0 +1,70 @@
+"""Normalizing input queries for a Volcano rule set.
+
+P2V deletes enforcer-operators (e.g. SORT) from the rule set, so a
+Volcano optimizer has no rules for them — but user queries may still
+contain them ("give me the join, sorted by X").  :func:`normalize_query`
+bridges the gap, the same way the paper's footnote 5 machinery would: a
+SORT node at (or stacked at) the root becomes a *required physical
+property vector*, and interior enforcer-operator nodes become
+requirements pushed onto the optimizer through a synthetic enforcer
+request... which for interior nodes is not expressible in Volcano's
+request model — those are rejected with a clear error rather than
+silently mis-planned.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression, StoredFileRef, walk
+from repro.errors import SearchError
+from repro.volcano.model import VolcanoRuleSet
+from repro.volcano.properties import PropertyVector, dont_care_vector
+from repro.algebra.properties import DONT_CARE
+
+
+def enforcer_operator_names(ruleset: VolcanoRuleSet) -> frozenset[str]:
+    """Operator names that exist only as enforcers in this rule set."""
+    return frozenset(e.operator for e in ruleset.enforcers)
+
+
+def normalize_query(
+    tree: "Expression | StoredFileRef",
+    ruleset: VolcanoRuleSet,
+) -> "tuple[Expression | StoredFileRef, PropertyVector]":
+    """Strip root-level enforcer-operators into a requirement vector.
+
+    Returns ``(stripped tree, required properties)`` ready for
+    :meth:`~repro.volcano.search.VolcanoOptimizer.optimize`.  A stack of
+    enforcer-operators at the root collapses into one vector (the
+    outermost wins per property, matching the semantics of re-sorting).
+    Enforcer-operators anywhere *below* the root are rejected: Volcano
+    has no way to demand properties mid-tree, and silently dropping the
+    node would change query semantics.
+    """
+    names = enforcer_operator_names(ruleset)
+    phys = ruleset.physical_properties
+    required = list(dont_care_vector(phys))
+
+    node = tree
+    while isinstance(node, Expression) and node.op.name in names:
+        for index, prop in enumerate(phys):
+            value = node.descriptor.get(prop, DONT_CARE)
+            if required[index] is DONT_CARE and value is not DONT_CARE:
+                required[index] = value
+        node = node.inputs[0]
+
+    for inner in walk(node):
+        if isinstance(inner, Expression) and inner.op.name in names:
+            raise SearchError(
+                f"enforcer-operator {inner.op.name!r} below the query root "
+                f"cannot be expressed as a Volcano property requirement; "
+                f"restructure the query or keep the operator out of the "
+                f"initial tree"
+            )
+
+    return node, tuple(required)
+
+
+def optimize_normalized(optimizer, tree):
+    """Convenience: normalize against the optimizer's rule set, then run."""
+    stripped, required = normalize_query(tree, optimizer.ruleset)
+    return optimizer.optimize(stripped, required)

@@ -1,0 +1,124 @@
+"""Matching rule left-hand sides against memo expressions.
+
+A trans_rule's LHS is a pattern tree (:mod:`repro.algebra.patterns`); it
+may be nested (``JOIN(JOIN(?1,?2),?3)``), in which case matching an inner
+pattern node requires enumerating the m-exprs of the corresponding input
+*group*.  The matcher therefore takes an ``expand`` callback supplied by
+the search engine: given a group id, return the m-exprs to consider
+(after the engine has applied whatever exploration policy it wants).
+
+A successful match yields a :class:`MatchBinding`:
+
+* pattern variables → the group ids they matched, and
+* LHS descriptor names → the live descriptors of the matched m-exprs /
+  groups (read-only from the perspective of rule actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
+from repro.volcano.memo import Memo, MExpr
+
+
+@dataclass
+class MatchBinding:
+    """The result of matching a pattern against memo content."""
+
+    groups: dict[str, int] = field(default_factory=dict)
+    descriptors: dict[str, Descriptor] = field(default_factory=dict)
+
+    def copy(self) -> "MatchBinding":
+        clone = MatchBinding()
+        clone.groups = dict(self.groups)
+        clone.descriptors = dict(self.descriptors)
+        return clone
+
+
+ExpandFn = Callable[[int], "list[MExpr]"]
+
+
+def match_mexpr(
+    pattern: PatternNode,
+    mexpr: MExpr,
+    memo: Memo,
+    expand: ExpandFn,
+) -> Iterator[MatchBinding]:
+    """All bindings of ``pattern`` against ``mexpr`` (possibly several).
+
+    Multiple bindings arise from nested pattern nodes: each combination
+    of matching child m-exprs yields one binding.
+    """
+    if mexpr.is_file or mexpr.op_name != pattern.op_name:
+        return
+    if len(pattern.inputs) != len(mexpr.inputs):
+        return
+
+    root = MatchBinding()
+    root.descriptors[pattern.descriptor] = mexpr.descriptor
+    yield from _match_children(pattern.inputs, mexpr.inputs, 0, root, memo, expand)
+
+
+def _match_children(
+    patterns: tuple[PatternElem, ...],
+    group_ids: tuple[int, ...],
+    index: int,
+    binding: MatchBinding,
+    memo: Memo,
+    expand: ExpandFn,
+) -> Iterator[MatchBinding]:
+    if index == len(patterns):
+        yield binding
+        return
+    pattern = patterns[index]
+    gid = group_ids[index]
+    if isinstance(pattern, PatternVar):
+        extended = binding.copy()
+        extended.groups[pattern.var] = gid
+        if pattern.descriptor is not None:
+            extended.descriptors[pattern.descriptor] = memo.group(
+                gid
+            ).logical_descriptor
+        yield from _match_children(
+            patterns, group_ids, index + 1, extended, memo, expand
+        )
+        return
+    # Nested pattern node: try every m-expr of the input group.
+    for child in expand(gid):
+        for child_binding in _nested_match(pattern, child, binding, memo, expand):
+            yield from _match_children(
+                patterns, group_ids, index + 1, child_binding, memo, expand
+            )
+
+
+def _nested_match(
+    pattern: PatternNode,
+    mexpr: MExpr,
+    binding: MatchBinding,
+    memo: Memo,
+    expand: ExpandFn,
+) -> Iterator[MatchBinding]:
+    if mexpr.is_file or mexpr.op_name != pattern.op_name:
+        return
+    if len(pattern.inputs) != len(mexpr.inputs):
+        return
+    extended = binding.copy()
+    extended.descriptors[pattern.descriptor] = mexpr.descriptor
+    yield from _match_children(
+        pattern.inputs, mexpr.inputs, 0, extended, memo, expand
+    )
+
+
+def pattern_could_match(pattern: PatternNode, mexpr: MExpr) -> bool:
+    """Cheap top-level test: does the root operator fit?
+
+    Used for the Table 5 "rules matched" statistic before full matching.
+    """
+    return (
+        not mexpr.is_file
+        and mexpr.op_name == pattern.op_name
+        and len(pattern.inputs) == len(mexpr.inputs)
+    )

@@ -1,0 +1,74 @@
+"""Physical property vectors.
+
+Volcano's top-down strategy optimizes each equivalence class against a
+*required physical property vector*: the properties (here, derived
+automatically by P2V — e.g. ``tuple_order``) that the plan produced for
+the class must deliver.  A vector is a plain tuple aligned with the rule
+set's ordered physical-property names; :data:`~repro.algebra.properties.DONT_CARE`
+entries mean "no requirement".
+
+Vectors are tuples (hashable) because they key the winner cache of every
+group: one winner per (group, required-vector) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.properties import DONT_CARE
+
+PropertyVector = tuple  # alias for readability in signatures
+
+
+def dont_care_vector(names: "tuple[str, ...]") -> PropertyVector:
+    """The all-DONT_CARE vector for the given physical properties."""
+    return (DONT_CARE,) * len(names)
+
+
+def vector_of(descriptor: Descriptor, names: "tuple[str, ...]") -> PropertyVector:
+    """Project a descriptor onto the physical-property vector space."""
+    return descriptor.project(names)
+
+
+def apply_vector(
+    descriptor: Descriptor, names: "tuple[str, ...]", vector: PropertyVector
+) -> None:
+    """Overwrite the descriptor's physical properties from a vector.
+
+    The engine uses this when serving a request: the operator descriptor
+    handed to an I-rule carries the *requested* physical properties
+    (e.g. the JOIN node's ``tuple_order`` is the order the parent asked
+    for), regardless of whatever stale values the memo expression holds.
+    """
+    for name, value in zip(names, vector):
+        descriptor[name] = value
+
+
+def satisfies(delivered: PropertyVector, required: PropertyVector) -> bool:
+    """True when a delivered vector meets a required vector.
+
+    Component-wise: a requirement is met when it is DONT_CARE or exactly
+    equal to the delivered value.
+    """
+    for have, want in zip(delivered, required):
+        if want is DONT_CARE:
+            continue
+        if have != want:
+            return False
+    return True
+
+
+def is_trivial(vector: PropertyVector) -> bool:
+    """True when the vector imposes no requirement at all."""
+    return all(v is DONT_CARE for v in vector)
+
+
+def format_vector(names: "tuple[str, ...]", vector: PropertyVector) -> str:
+    """Human-readable rendering for debug output and reports."""
+    parts = [
+        f"{name}={value!r}"
+        for name, value in zip(names, vector)
+        if value is not DONT_CARE
+    ]
+    return "{" + ", ".join(parts) + "}" if parts else "{any}"

@@ -1,0 +1,559 @@
+"""The Volcano search strategy: top-down, memoizing, branch-and-bound.
+
+Given an initialized operator tree, the optimizer:
+
+1. encodes the tree into the memo (one group per logically distinct
+   subexpression),
+2. *explores* groups on demand — applying every trans_rule to every memo
+   expression until a fixpoint, with global duplicate elimination, so a
+   group comes to contain all logically equivalent alternatives the rule
+   set can derive,
+3. *optimizes* the root group for the required physical-property vector:
+   for every memo expression and every matching impl_rule, builds the
+   algorithm's descriptor (``do_any_good``), derives the input property
+   vectors (``get_input_pv``), recursively optimizes the input groups,
+   computes the cost (``cost``) and delivered properties
+   (``derive_phy_prop``), and keeps the cheapest satisfying plan; when
+   the request is non-trivial, enforcers compete too, wrapping the best
+   relaxed plan of the same group.
+
+Winners are cached per (group, required-vector); running bests prune
+alternatives whose partial cost already exceeds the best known plan
+(branch-and-bound).  Optimization is exact: the returned plan is the
+cheapest access plan derivable by the rule set.
+
+This reimplements the behaviour of the Volcano optimizer generator's
+search engine that the paper's experiments depend on: which rules fire,
+how many equivalence classes exist (Figure 14), and the relative running
+time of two rule sets executed by the same engine (Figures 10–13).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Union
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
+from repro.catalog.schema import Catalog
+from repro.errors import NoPlanFoundError, SearchError
+from repro.prairie.actions import ActionEnv
+from repro.volcano.memo import Group, Memo, MExpr
+from repro.volcano.model import Enforcer, ImplRule, TransRule, VolcanoRuleSet
+from repro.volcano.patterns import MatchBinding, match_mexpr
+from repro.volcano.properties import (
+    PropertyVector,
+    apply_vector,
+    dont_care_vector,
+    is_trivial,
+    satisfies,
+)
+
+_NO_PLAN = object()  # cached "no plan exists" marker in Group.winners
+
+
+@dataclass
+class OptimizerContext:
+    """What rule code can reach through ``env.context``.
+
+    Helper functions receive this as their first argument (contextual
+    helpers), giving rules access to the catalog without global state.
+    """
+
+    catalog: Catalog
+    ruleset: VolcanoRuleSet
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """User heuristics over the search strategy.
+
+    The paper's closing lesson (Section 4.3): "extending an existing
+    query optimizer … can result in an enormous increase in optimization
+    complexity … Extensibility, thus, must be judiciously coupled with
+    user heuristics to avoid unpleasant surprises."  These are those
+    heuristics — knobs that *prune* the search space, trading plan
+    optimality for optimization time:
+
+    * ``disabled_rules`` — rule names (trans, impl, or enforcer) the
+      engine must not fire.  The classic use: disable the pull-up
+      direction of select/MAT placement so predicates only move down.
+    * ``max_groups`` — once the memo holds this many equivalence
+      classes, stop applying transformation rules (existing alternatives
+      are still costed; no new logical alternatives are derived).
+    * ``max_mexprs`` — same budget, counted in memo expressions.
+    * ``monotone_costs`` — declares that every algorithm's cost is at
+      least the sum of its optimized inputs' costs.  When true, the
+      engine additionally prunes alternatives whose accumulated input
+      costs already exceed the running best (the classic dynamic-
+      programming bound).  It is an *assumption about the cost model*,
+      not a safe default: the object algebra's pointer join deliberately
+      ignores its inner input's cost (it never scans the extent), and
+      selective streams can have fractional cardinalities that make a
+      nested-loops cost smaller than its inputs' sum — under either, the
+      bound could prune the true optimum.  Off by default; the engine is
+      exact without it.
+
+    Plans remain valid and executable under any heuristic; they just may
+    no longer be the global optimum.  The ablation benchmark
+    ``bench_ablation_heuristics.py`` quantifies the trade.
+    """
+
+    disabled_rules: frozenset = frozenset()
+    max_groups: "int | None" = None
+    max_mexprs: "int | None" = None
+    monotone_costs: bool = False
+
+    def allows(self, rule_name: str) -> bool:
+        return rule_name not in self.disabled_rules
+
+    def exploration_budget_left(self, memo: "Memo") -> bool:
+        if self.max_groups is not None and memo.group_count >= self.max_groups:
+            return False
+        if self.max_mexprs is not None and memo.mexpr_count >= self.max_mexprs:
+            return False
+        return True
+
+
+NO_HEURISTICS = SearchOptions()
+
+
+@dataclass
+class SearchStats:
+    """Counters the benchmarks report.
+
+    ``trans_matched`` / ``impl_matched`` hold the *names* of rules whose
+    left-hand side structurally matched some memo expression — the
+    paper's Table 5 "rules matched" metric ("not all the rules were
+    necessarily applicable": condition failures still count as matched).
+    """
+
+    groups: int = 0
+    mexprs: int = 0
+    trans_matched: set = field(default_factory=set)
+    impl_matched: set = field(default_factory=set)
+    trans_applicable: set = field(default_factory=set)
+    impl_applicable: set = field(default_factory=set)
+    trans_fired: int = 0
+    trans_considered: int = 0
+    impl_considered: int = 0
+    impl_succeeded: int = 0
+    enforcer_applied: int = 0
+    optimize_calls: int = 0
+    winners_cached: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "groups": self.groups,
+            "mexprs": self.mexprs,
+            "trans_rules_matched": len(self.trans_matched),
+            "impl_rules_matched": len(self.impl_matched),
+            "trans_rules_applicable": len(self.trans_applicable),
+            "impl_rules_applicable": len(self.impl_applicable),
+            "trans_fired": self.trans_fired,
+            "impl_considered": self.impl_considered,
+            "impl_succeeded": self.impl_succeeded,
+            "enforcer_applied": self.enforcer_applied,
+            "optimize_calls": self.optimize_calls,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class Winner:
+    """The best plan found for one (group, required-vector) request."""
+
+    plan: Union[Expression, StoredFileRef]
+    cost: float
+    delivered: PropertyVector
+
+
+@dataclass
+class OptimizationResult:
+    """Everything :meth:`VolcanoOptimizer.optimize` returns."""
+
+    plan: Union[Expression, StoredFileRef]
+    cost: float
+    stats: SearchStats
+    memo: Memo
+
+    @property
+    def equivalence_classes(self) -> int:
+        """The Figure 14 metric."""
+        return self.memo.group_count
+
+
+class VolcanoOptimizer:
+    """One optimization engine bound to a rule set and a catalog.
+
+    The optimizer is reusable: each :meth:`optimize` call builds a fresh
+    memo and statistics, so one engine can serve many queries.
+    """
+
+    def __init__(
+        self,
+        ruleset: VolcanoRuleSet,
+        catalog: Catalog,
+        options: "SearchOptions | None" = None,
+    ) -> None:
+        ruleset.validate()
+        self.ruleset = ruleset
+        self.catalog = catalog
+        self.options = options if options is not None else NO_HEURISTICS
+        self.context = OptimizerContext(catalog=catalog, ruleset=ruleset)
+
+    # -- public API ------------------------------------------------------------
+
+    def optimize(
+        self,
+        tree: Union[Expression, StoredFileRef],
+        required: "PropertyVector | None" = None,
+    ) -> OptimizationResult:
+        """Optimize an initialized operator tree into the cheapest plan.
+
+        ``required`` constrains the physical properties the final plan
+        must deliver (aligned with the rule set's
+        ``physical_properties``); defaults to no requirement.
+        """
+        started = time.perf_counter()
+        phys = self.ruleset.physical_properties
+        if required is None:
+            required = dont_care_vector(phys)
+        if len(required) != len(phys):
+            raise SearchError(
+                f"required vector has {len(required)} entries, rule set has "
+                f"{len(phys)} physical properties"
+            )
+        memo = Memo(self.ruleset.argument_properties)
+        stats = SearchStats()
+        state = _SearchState(memo, stats)
+        root = memo.from_expression(tree)
+        winner = self._optimize_group(state, root.gid, required)
+        stats.groups = memo.group_count
+        stats.mexprs = memo.mexpr_count
+        stats.elapsed_seconds = time.perf_counter() - started
+        if winner is None:
+            raise NoPlanFoundError(
+                f"no access plan delivers the requested properties for "
+                f"{tree}"
+            )
+        return OptimizationResult(winner.plan, winner.cost, stats, memo)
+
+    # -- exploration (trans_rules to fixpoint) ----------------------------------
+
+    def _explore(self, state: "_SearchState", gid: int) -> list[MExpr]:
+        memo = state.memo
+        group = memo.group(gid)
+        if group.explored or group.is_file_group:
+            return group.mexprs
+        if gid in state.exploring:
+            # Re-entrant request during this group's own exploration:
+            # return the current snapshot; the outer call finishes the job.
+            return group.mexprs
+        state.exploring.add(gid)
+        options = self.options
+        try:
+            index = 0
+            while index < len(group.mexprs):
+                if not options.exploration_budget_left(memo):
+                    # Heuristic cut-off: keep what we have, derive no
+                    # more logical alternatives (SearchOptions).
+                    break
+                mexpr = group.mexprs[index]
+                for rule in self.ruleset.trans_rules:
+                    if not options.allows(rule.name):
+                        continue
+                    fired_key = (rule.name, id(mexpr))
+                    if fired_key in state.fired:
+                        continue
+                    state.fired.add(fired_key)
+                    self._apply_trans_rule(state, rule, mexpr, gid)
+                index += 1
+            group.explored = True
+        finally:
+            state.exploring.discard(gid)
+        return group.mexprs
+
+    def _apply_trans_rule(
+        self, state: "_SearchState", rule: TransRule, mexpr: MExpr, gid: int
+    ) -> None:
+        memo = state.memo
+        expand = lambda child_gid: self._explore(state, child_gid)  # noqa: E731
+        matched = False
+        for binding in match_mexpr(rule.lhs, mexpr, memo, expand):
+            matched = True
+            state.stats.trans_considered += 1
+            env = self._trans_env(rule, binding)
+            if not rule.cond_code(env):
+                continue
+            state.stats.trans_applicable.add(rule.name)
+            rule.appl_code(env)
+            state.stats.trans_fired += 1
+            self._build_rhs(state, rule.rhs, binding, env, target_group=gid)
+        if matched:
+            state.stats.trans_matched.add(rule.name)
+
+    def _trans_env(self, rule: TransRule, binding: MatchBinding) -> ActionEnv:
+        descriptors = dict(binding.descriptors)
+        for name in rule.rhs_descriptor_names:
+            descriptors[name] = Descriptor(self.ruleset.schema)
+        return ActionEnv(
+            descriptors,
+            self.ruleset.helpers,
+            context=self.context,
+            readonly=binding.descriptors.keys(),
+        )
+
+    def _build_rhs(
+        self,
+        state: "_SearchState",
+        elem: PatternElem,
+        binding: MatchBinding,
+        env: ActionEnv,
+        target_group: "int | None",
+    ) -> int:
+        """Materialize a rule's RHS into the memo; returns its group id.
+
+        The RHS root joins ``target_group`` (it is logically equivalent to
+        the matched expression); nested nodes get their own groups unless
+        duplicate elimination finds them already known.
+        """
+        if isinstance(elem, PatternVar):
+            return binding.groups[elem.var]
+        child_gids = tuple(
+            self._build_rhs(state, child, binding, env, target_group=None)
+            for child in elem.inputs
+        )
+        descriptor = env.descriptor(elem.descriptor).copy()
+        mexpr = MExpr(elem.op_name, child_gids, descriptor)
+        canonical, created = state.memo.insert(mexpr, group_id=target_group)
+        if created and target_group is None:
+            # A brand-new group must be closed under the trans_rules right
+            # away: every logically equivalent variant (e.g. the commuted
+            # join) must live in *this* group before any other rule can
+            # derive the variant independently and accidentally seed a
+            # second, split group for the same equivalence class.
+            self._explore(state, canonical.group_id)
+        return canonical.group_id
+
+    # -- optimization (impl_rules + enforcers, memoized winners) -----------------
+
+    def _optimize_group(
+        self, state: "_SearchState", gid: int, required: PropertyVector
+    ) -> "Winner | None":
+        memo = state.memo
+        group = memo.group(gid)
+        cached = group.winners.get(required, _NO_WINNER)
+        if cached is not _NO_WINNER:
+            return None if cached is _NO_PLAN else cached
+        request = (gid, required)
+        if request in state.optimizing:
+            return None  # break pathological cycles; not cached
+        state.optimizing.add(request)
+        state.stats.optimize_calls += 1
+        try:
+            best: "Winner | None" = None
+            if group.is_file_group:
+                best = self._file_winner(group, required)
+            else:
+                self._explore(state, gid)
+                for mexpr in list(group.mexprs):
+                    for rule in self.ruleset.impl_rules_for(mexpr.op_name):
+                        if not self.options.allows(rule.name):
+                            continue
+                        state.stats.impl_matched.add(rule.name)
+                        candidate = self._apply_impl_rule(
+                            state, rule, mexpr, required, best
+                        )
+                        if candidate is not None and (
+                            best is None or candidate.cost < best.cost
+                        ):
+                            best = candidate
+            if not is_trivial(required):
+                for enforcer in self.ruleset.enforcers:
+                    if not self.options.allows(enforcer.name):
+                        continue
+                    candidate = self._apply_enforcer(
+                        state, enforcer, group, required, best
+                    )
+                    if candidate is not None and (
+                        best is None or candidate.cost < best.cost
+                    ):
+                        best = candidate
+            group.winners[required] = _NO_PLAN if best is None else best
+            state.stats.winners_cached += 1
+            return best
+        finally:
+            state.optimizing.discard(request)
+
+    def _file_winner(
+        self, group: Group, required: PropertyVector
+    ) -> "Winner | None":
+        """Stored files cost nothing and deliver no physical properties."""
+        mexpr = group.mexprs[0]
+        delivered = dont_care_vector(self.ruleset.physical_properties)
+        if not satisfies(delivered, required):
+            return None
+        leaf = StoredFileRef(mexpr.op_name, mexpr.descriptor.copy())
+        return Winner(plan=leaf, cost=0.0, delivered=delivered)
+
+    def _impl_env(
+        self,
+        rule: "ImplRule | Enforcer",
+        op_descriptor: Descriptor,
+        input_groups: tuple[int, ...],
+        memo: Memo,
+    ) -> ActionEnv:
+        descriptors: dict[str, Descriptor] = {rule.op_desc_name: op_descriptor}
+        readonly = {rule.op_desc_name}
+        for index, child_gid in enumerate(input_groups):
+            lhs_name = rule.lhs_input_desc(index)
+            if lhs_name is not None:
+                descriptors[lhs_name] = memo.group(
+                    child_gid
+                ).logical_descriptor.copy()
+                readonly.add(lhs_name)
+        for name in rule.rhs_descriptor_names:
+            descriptors[name] = Descriptor(self.ruleset.schema)
+        return ActionEnv(
+            descriptors,
+            self.ruleset.helpers,
+            context=self.context,
+            readonly=readonly,
+        )
+
+    def _record_input_result(
+        self,
+        rule: "ImplRule | Enforcer",
+        env: ActionEnv,
+        index: int,
+        winner: Winner,
+    ) -> None:
+        """Make an optimized input's cost visible to post-opt code.
+
+        The paper's post-opt statements read input costs off the input
+        descriptors (``D5.cost = D4.cost + D4.num_records * D2.cost`` in
+        I-rule (5) reads both the fresh RHS descriptor D4 *and* the LHS
+        input descriptor D2) — so the engine writes the winner's cost
+        into both bindings.  These are env-local copies; nothing shared
+        is mutated.
+        """
+        cost_prop = self.ruleset.cost_property
+        for name in (rule.lhs_input_desc(index), rule.rhs_input_desc(index)):
+            if name is not None:
+                descriptor = env.descriptors[name]
+                descriptor[cost_prop] = winner.cost
+                for prop, value in zip(
+                    self.ruleset.physical_properties, winner.delivered
+                ):
+                    descriptor[prop] = value
+
+    def _apply_impl_rule(
+        self,
+        state: "_SearchState",
+        rule: ImplRule,
+        mexpr: MExpr,
+        required: PropertyVector,
+        best_so_far: "Winner | None",
+    ) -> "Winner | None":
+        phys = self.ruleset.physical_properties
+        op_descriptor = mexpr.descriptor.copy()
+        apply_vector(op_descriptor, phys, required)
+        env = self._impl_env(rule, op_descriptor, mexpr.inputs, state.memo)
+        state.stats.impl_considered += 1
+        if not rule.cond_code(env):
+            return None
+        state.stats.impl_applicable.add(rule.name)
+        if not rule.do_any_good(env):
+            return None
+        child_plans: list[Winner] = []
+        accumulated = 0.0
+        prune_on_inputs = self.options.monotone_costs and best_so_far is not None
+        for index, child_gid in enumerate(mexpr.inputs):
+            input_pv = rule.get_input_pv(env, index)
+            sub = self._optimize_group(state, child_gid, input_pv)
+            if sub is None:
+                return None
+            accumulated += sub.cost
+            if prune_on_inputs and accumulated >= best_so_far.cost:
+                # Classic DP bound — only sound when the cost model is
+                # declared monotone (see SearchOptions.monotone_costs).
+                return None
+            self._record_input_result(rule, env, index, sub)
+            child_plans.append(sub)
+        cost = rule.cost(env)
+        delivered = rule.derive_phy_prop(env)
+        if not satisfies(delivered, required):
+            return None
+        if best_so_far is not None and cost >= best_so_far.cost:
+            return None
+        state.stats.impl_succeeded += 1
+        plan = Expression(
+            rule.algorithm,
+            tuple(p.plan for p in child_plans),
+            env.descriptor(rule.alg_desc_name).copy(),
+        )
+        return Winner(plan=plan, cost=cost, delivered=delivered)
+
+    def _apply_enforcer(
+        self,
+        state: "_SearchState",
+        enforcer: Enforcer,
+        group: Group,
+        required: PropertyVector,
+        best_so_far: "Winner | None",
+    ) -> "Winner | None":
+        phys = self.ruleset.physical_properties
+        op_descriptor = group.logical_descriptor.copy()
+        apply_vector(op_descriptor, phys, required)
+        env = self._impl_env(enforcer, op_descriptor, (group.gid,), state.memo)
+        if not enforcer.cond_code(env):
+            return None
+        if not enforcer.do_any_good(env):
+            return None
+        input_pv = enforcer.get_input_pv(env, 0)
+        if input_pv == required:
+            return None  # no relaxation: applying would recurse forever
+        sub = self._optimize_group(state, group.gid, input_pv)
+        if sub is None:
+            return None
+        if (
+            self.options.monotone_costs
+            and best_so_far is not None
+            and sub.cost >= best_so_far.cost
+        ):
+            return None
+        self._record_input_result(enforcer, env, 0, sub)
+        cost = enforcer.cost(env)
+        delivered = enforcer.derive_phy_prop(env)
+        if not satisfies(delivered, required):
+            return None
+        if best_so_far is not None and cost >= best_so_far.cost:
+            return None
+        state.stats.enforcer_applied += 1
+        plan = Expression(
+            enforcer.algorithm,
+            (sub.plan,),
+            env.descriptor(enforcer.alg_desc_name).copy(),
+        )
+        return Winner(plan=plan, cost=cost, delivered=delivered)
+
+
+class _SearchState:
+    """Per-optimization mutable state (memo, stats, re-entrancy guards)."""
+
+    __slots__ = ("memo", "stats", "exploring", "optimizing", "fired")
+
+    def __init__(self, memo: Memo, stats: SearchStats) -> None:
+        self.memo = memo
+        self.stats = stats
+        self.exploring: set[int] = set()
+        self.optimizing: set[tuple] = set()
+        self.fired: set[tuple] = set()
+
+
+_NO_WINNER = object()  # "cache miss" marker distinct from cached _NO_PLAN

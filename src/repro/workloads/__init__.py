@@ -1,0 +1,43 @@
+"""Experiment workloads: the paper's catalogs, expressions, and queries.
+
+* :mod:`repro.workloads.catalogs` — synthetic base-class catalogs with
+  the paper's structure: linear join graphs, one index per class on the
+  selection attribute, reference attributes for MAT, varied
+  cardinalities (5 instances per configuration, Section 4.3).
+* :mod:`repro.workloads.trees` — a :class:`TreeBuilder` that constructs
+  *initialized* operator trees (descriptors annotated bottom-up with the
+  same canonical estimates the rules use).
+* :mod:`repro.workloads.expressions` — the four expression templates
+  E1–E4 of the paper's Figure 9.
+* :mod:`repro.workloads.queries` — the eight query families Q1–Q8 of
+  Table 5 (expression template × index presence), with per-instance
+  cardinality variation.
+"""
+
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.trees import TreeBuilder
+from repro.workloads.expressions import (
+    build_e1,
+    build_e2,
+    build_e3,
+    build_e4,
+    build_expression,
+)
+from repro.workloads.queries import (
+    QUERIES,
+    QuerySpec,
+    make_query_instance,
+)
+
+__all__ = [
+    "make_experiment_catalog",
+    "TreeBuilder",
+    "build_e1",
+    "build_e2",
+    "build_e3",
+    "build_e4",
+    "build_expression",
+    "QUERIES",
+    "QuerySpec",
+    "make_query_instance",
+]

@@ -1,0 +1,106 @@
+"""Catalog generation for the Section 4.3 experiments.
+
+Each experiment uses ``n_classes`` base classes ``C1 … Cn``:
+
+* ``C_i`` declares a selection attribute ``a_i``, a join attribute
+  ``b_i``, a reference attribute ``r_i`` (pointing at a companion target
+  class ``T_i`` — what MAT materializes), and a set-valued attribute
+  ``s_i`` (for UNNEST examples).
+* With indices enabled, every ``C_i`` carries exactly one index, on
+  ``a_i`` — the attribute the selection predicate references, exactly as
+  the paper chose (Section 4.3).
+* Cardinalities vary per *instance*: the paper averaged each data point
+  over 5 query instances with different class cardinalities; instances
+  here draw cardinalities deterministically from a seeded RNG.
+
+Attribute names are globally unique so join predicates need no
+qualification (and :meth:`~repro.catalog.schema.Catalog.file_of_attribute`
+is well-defined).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+
+MIN_CARDINALITY = 200
+MAX_CARDINALITY = 5000
+TARGET_CARDINALITY = 500
+BASE_TUPLE_SIZE = 100
+TARGET_TUPLE_SIZE = 80
+
+
+def class_name(i: int) -> str:
+    return f"C{i}"
+
+
+def target_name(i: int) -> str:
+    return f"T{i}"
+
+
+def selection_attr(i: int) -> str:
+    return f"a{i}"
+
+
+def join_attr(i: int) -> str:
+    return f"b{i}"
+
+
+def reference_attr(i: int) -> str:
+    return f"r{i}"
+
+
+def set_attr(i: int) -> str:
+    return f"s{i}"
+
+
+def make_experiment_catalog(
+    n_classes: int,
+    with_indices: bool = False,
+    with_targets: bool = True,
+    instance: int = 0,
+    fixed_cardinality: "int | None" = None,
+) -> Catalog:
+    """Build the catalog for one experiment instance.
+
+    ``instance`` selects one of the cardinality variations (the paper
+    used 5 per data point); ``fixed_cardinality`` overrides variation
+    for tests that want exact control.
+    """
+    rng = random.Random(f"catalog:{n_classes}:{instance}")
+    files: list[StoredFileInfo] = []
+    for i in range(1, n_classes + 1):
+        if fixed_cardinality is not None:
+            cardinality = fixed_cardinality
+        else:
+            cardinality = rng.randint(MIN_CARDINALITY, MAX_CARDINALITY)
+        attributes = [selection_attr(i), join_attr(i)]
+        reference_attrs: tuple[tuple[str, str], ...] = ()
+        if with_targets:
+            attributes.append(reference_attr(i))
+            reference_attrs = ((reference_attr(i), target_name(i)),)
+        attributes.append(set_attr(i))
+        indices = (IndexInfo(selection_attr(i)),) if with_indices else ()
+        files.append(
+            StoredFileInfo(
+                name=class_name(i),
+                attributes=tuple(attributes),
+                cardinality=cardinality,
+                tuple_size=BASE_TUPLE_SIZE,
+                indices=indices,
+                reference_attrs=reference_attrs,
+                set_valued_attrs=(set_attr(i),),
+            )
+        )
+        if with_targets:
+            files.append(
+                StoredFileInfo(
+                    name=target_name(i),
+                    attributes=(f"t{i}_id", f"t{i}_x", f"t{i}_y"),
+                    cardinality=TARGET_CARDINALITY,
+                    tuple_size=TARGET_TUPLE_SIZE,
+                    identity_attr=f"t{i}_id",
+                )
+            )
+    return Catalog(files)

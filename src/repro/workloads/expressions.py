@@ -1,0 +1,115 @@
+"""The paper's expression templates E1–E4 (Figure 9).
+
+For ``n_joins`` joins the templates use ``n_joins + 1`` base classes in
+a left-deep chain with a *linear* join graph (paper Section 4.3: "The
+choice of JOIN predicates was such that the queries corresponded to
+linear query graphs"):
+
+* **E1** — joins of plain retrievals:
+  ``JOIN(…JOIN(RET(C1), RET(C2))…, RET(Cn+1))``.
+* **E2** — like E1, but each class's reference attribute is
+  materialized after retrieval: the join inputs are ``MAT(RET(C_i))``.
+* **E3** — E1 with a SELECT root whose predicate is a conjunction of
+  one equality ``a_i = const_i`` per class (const_i = i, as the paper
+  arbitrarily chose).
+* **E4** — E2 with the same SELECT root.
+
+Join predicates are the equalities ``b_i = b_{i+1}`` between adjacent
+classes — a linear chain.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression
+from repro.catalog.predicates import Conjunction, equals_attr, equals_const
+from repro.errors import AlgebraError
+from repro.workloads import catalogs as C
+from repro.workloads.trees import TreeBuilder
+
+
+def linear_join_predicate(i: int):
+    """The equi-join predicate between classes ``C_i`` and ``C_{i+1}``."""
+    return equals_attr(C.join_attr(i), C.join_attr(i + 1))
+
+
+def star_join_predicate(i: int):
+    """The equi-join predicate between the hub ``C_1`` and ``C_{i+1}``.
+
+    Star query graphs are the paper's stated future work ("In the
+    future, we will experiment with non-linear (e.g., star) query
+    graphs", Section 4.3): every satellite class joins the hub directly,
+    so far more join orders avoid cross products and the search space
+    grows correspondingly faster.
+    """
+    return equals_attr(C.join_attr(1), C.join_attr(i + 1))
+
+
+def selection_conjunction(n_classes: int) -> Conjunction:
+    """The E3/E4 root predicate: one equality per class (const_i = i)."""
+    return Conjunction(
+        tuple(equals_const(C.selection_attr(i), i) for i in range(1, n_classes + 1))
+    )
+
+
+def _join_chain(
+    builder: TreeBuilder, inputs: "list[Expression]", topology: str = "linear"
+) -> Expression:
+    if topology == "linear":
+        predicate_of = linear_join_predicate
+    elif topology == "star":
+        predicate_of = star_join_predicate
+    else:
+        raise AlgebraError(f"unknown join topology {topology!r}")
+    tree = inputs[0]
+    for i, right in enumerate(inputs[1:], start=1):
+        tree = builder.join(tree, right, predicate_of(i))
+    return tree
+
+
+def build_e1(
+    builder: TreeBuilder, n_joins: int, topology: str = "linear"
+) -> Expression:
+    """E1: an (n_joins)-way join of plain class retrievals."""
+    if n_joins < 1:
+        raise AlgebraError("E1 needs at least one join")
+    inputs = [builder.ret(C.class_name(i)) for i in range(1, n_joins + 2)]
+    return _join_chain(builder, inputs, topology)
+
+
+def build_e2(
+    builder: TreeBuilder, n_joins: int, topology: str = "linear"
+) -> Expression:
+    """E2: like E1, with each class's reference attribute materialized."""
+    if n_joins < 1:
+        raise AlgebraError("E2 needs at least one join")
+    inputs = [
+        builder.mat(builder.ret(C.class_name(i)), C.reference_attr(i))
+        for i in range(1, n_joins + 2)
+    ]
+    return _join_chain(builder, inputs, topology)
+
+
+def build_e3(builder: TreeBuilder, n_joins: int) -> Expression:
+    """E3: E1 under a SELECT root with one equality conjunct per class."""
+    return builder.select(
+        build_e1(builder, n_joins), selection_conjunction(n_joins + 1)
+    )
+
+
+def build_e4(builder: TreeBuilder, n_joins: int) -> Expression:
+    """E4: E2 under the same SELECT root."""
+    return builder.select(
+        build_e2(builder, n_joins), selection_conjunction(n_joins + 1)
+    )
+
+
+_BUILDERS = {"E1": build_e1, "E2": build_e2, "E3": build_e3, "E4": build_e4}
+
+
+def build_expression(builder: TreeBuilder, template: str, n_joins: int) -> Expression:
+    """Build one of E1–E4 by template name."""
+    try:
+        fn = _BUILDERS[template]
+    except KeyError:
+        raise AlgebraError(f"unknown expression template {template!r}") from None
+    return fn(builder, n_joins)

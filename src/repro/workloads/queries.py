@@ -1,0 +1,88 @@
+"""The eight query families Q1–Q8 of the paper's Table 5.
+
+Each query family pairs an expression template with index presence:
+
+====== ======== =========
+Query  Indices  Template
+====== ======== =========
+Q1     no       E1
+Q2     yes      E1
+Q3     no       E2
+Q4     yes      E2
+Q5     no       E3
+Q6     yes      E3
+Q7     no       E4
+Q8     yes      E4
+====== ======== =========
+
+A *query instance* fixes the number of joins and one of the cardinality
+variations ("for a fixed number of JOINs in a query, we varied the
+cardinalities of the base classes 5 times … and averaged the run-times
+over the 5 query instances", Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Expression
+from repro.algebra.properties import DescriptorSchema
+from repro.catalog.schema import Catalog
+from repro.errors import AlgebraError
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.expressions import build_expression
+from repro.workloads.trees import TreeBuilder
+
+#: Number of cardinality variations averaged per data point (Section 4.3).
+INSTANCES_PER_POINT = 5
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One row of Table 5: a query family."""
+
+    qid: str
+    template: str
+    with_indices: bool
+
+    @property
+    def uses_mat(self) -> bool:
+        return self.template in ("E2", "E4")
+
+    @property
+    def uses_select(self) -> bool:
+        return self.template in ("E3", "E4")
+
+
+QUERIES: dict[str, QuerySpec] = {
+    "Q1": QuerySpec("Q1", "E1", False),
+    "Q2": QuerySpec("Q2", "E1", True),
+    "Q3": QuerySpec("Q3", "E2", False),
+    "Q4": QuerySpec("Q4", "E2", True),
+    "Q5": QuerySpec("Q5", "E3", False),
+    "Q6": QuerySpec("Q6", "E3", True),
+    "Q7": QuerySpec("Q7", "E4", False),
+    "Q8": QuerySpec("Q8", "E4", True),
+}
+
+
+def make_query_instance(
+    schema: DescriptorSchema,
+    qid: str,
+    n_joins: int,
+    instance: int = 0,
+) -> "tuple[Catalog, Expression]":
+    """Build (catalog, initialized operator tree) for one query instance."""
+    try:
+        spec = QUERIES[qid]
+    except KeyError:
+        raise AlgebraError(f"unknown query {qid!r} (Q1..Q8)") from None
+    catalog = make_experiment_catalog(
+        n_classes=n_joins + 1,
+        with_indices=spec.with_indices,
+        with_targets=spec.uses_mat,
+        instance=instance,
+    )
+    builder = TreeBuilder(schema, catalog)
+    tree = build_expression(builder, spec.template, n_joins)
+    return catalog, tree

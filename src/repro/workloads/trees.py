@@ -1,0 +1,179 @@
+"""Building *initialized* operator trees.
+
+Paper Section 2.2: "there are certain annotations … that are known
+before any optimization is begun.  These annotations can be computed at
+the time that the operator tree is initialized."  :class:`TreeBuilder`
+performs that initialization: each constructor computes the node's
+descriptor bottom-up using exactly the same canonical estimator helpers
+the rules use (:mod:`repro.optimizers.helpers`), so an expression built
+here and the equivalent expression derived by rule application carry
+bit-identical annotations — which the memo's duplicate elimination
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.operations import Operator
+from repro.algebra.properties import DescriptorSchema, DONT_CARE
+from repro.catalog.schema import Catalog
+from repro.errors import AlgebraError
+from repro.optimizers import helpers as H
+from repro.optimizers.schema import leaf_descriptor
+from repro.prairie.helpers import union as attr_union
+
+
+@dataclass
+class _Ctx:
+    """Minimal stand-in for the optimizer context helpers expect."""
+
+    catalog: Catalog
+
+
+# Operator identities are value-based (frozen dataclasses keyed by name
+# and input kinds); builders may use their own instances.
+RET = Operator.on_file("RET")
+SELECT = Operator.streams("SELECT", 1)
+PROJECT = Operator.streams("PROJECT", 1)
+JOIN = Operator.streams("JOIN", 2)
+UNNEST = Operator.streams("UNNEST", 1)
+MAT = Operator.streams("MAT", 1)
+SORT = Operator.streams("SORT", 1)
+
+
+class TreeBuilder:
+    """Constructs initialized operator trees over a catalog.
+
+    The builder works for both the relational and the object rule sets —
+    operators are matched by name inside the engine, and the descriptor
+    schema is the shared one of :mod:`repro.optimizers.schema`.
+    """
+
+    def __init__(self, schema: DescriptorSchema, catalog: Catalog) -> None:
+        self.schema = schema
+        self.catalog = catalog
+        self._ctx = _Ctx(catalog)
+
+    # -- leaves and scans ------------------------------------------------------
+
+    def file(self, name: str) -> StoredFileRef:
+        """An annotated stored-file leaf."""
+        return StoredFileRef(name, leaf_descriptor(self.schema, self.catalog[name]))
+
+    def ret(self, name: str, selection: Any = None) -> Expression:
+        """RET of a stored file, optionally with a selection predicate."""
+        leaf = self.file(name)
+        info = self.catalog[name]
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "file_name": name,
+                "attributes": tuple(info.attributes),
+                "num_records": H.filter_card(
+                    self._ctx, float(info.cardinality), selection
+                ),
+                "tuple_size": float(info.tuple_size),
+            },
+        )
+        if selection is not None:
+            descriptor["selection_predicate"] = selection
+        return Expression(RET, (leaf,), descriptor)
+
+    # -- stream operators ---------------------------------------------------------
+
+    def select(self, child: Expression, predicate: Any) -> Expression:
+        d = child.descriptor
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "selection_predicate": predicate,
+                "attributes": tuple(d["attributes"]),
+                "num_records": H.filter_card(self._ctx, d["num_records"], predicate),
+                "tuple_size": d["tuple_size"],
+            },
+        )
+        return Expression(SELECT, (child,), descriptor)
+
+    def join(self, left: Expression, right: Expression, predicate: Any) -> Expression:
+        dl, dr = left.descriptor, right.descriptor
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "join_predicate": predicate,
+                "attributes": attr_union(dl["attributes"], dr["attributes"]),
+                "num_records": H.join_card(
+                    self._ctx, dl["num_records"], dr["num_records"], predicate
+                ),
+                "tuple_size": dl["tuple_size"] + dr["tuple_size"],
+            },
+        )
+        return Expression(JOIN, (left, right), descriptor)
+
+    def mat(self, child: Expression, attribute: str) -> Expression:
+        d = child.descriptor
+        if attribute not in d["attributes"]:
+            raise AlgebraError(
+                f"MAT attribute {attribute!r} not in stream attributes"
+            )
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "mat_attribute": attribute,
+                "attributes": attr_union(
+                    d["attributes"], H.mat_attrs(self._ctx, attribute)
+                ),
+                "num_records": d["num_records"],
+                "tuple_size": d["tuple_size"] + H.mat_size(self._ctx, attribute),
+            },
+        )
+        return Expression(MAT, (child,), descriptor)
+
+    def unnest(self, child: Expression, attribute: str) -> Expression:
+        d = child.descriptor
+        if attribute not in d["attributes"]:
+            raise AlgebraError(
+                f"UNNEST attribute {attribute!r} not in stream attributes"
+            )
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "unnest_attribute": attribute,
+                "attributes": tuple(d["attributes"]),
+                "num_records": H.unnest_card(d["num_records"]),
+                "tuple_size": d["tuple_size"],
+            },
+        )
+        return Expression(UNNEST, (child,), descriptor)
+
+    def project(self, child: Expression, attributes: "tuple[str, ...]") -> Expression:
+        d = child.descriptor
+        missing = [a for a in attributes if a not in d["attributes"]]
+        if missing:
+            raise AlgebraError(f"PROJECT of unknown attributes {missing}")
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "projected_attributes": tuple(attributes),
+                "attributes": tuple(attributes),
+                "num_records": d["num_records"],
+                "tuple_size": d["tuple_size"],
+            },
+        )
+        return Expression(PROJECT, (child,), descriptor)
+
+    def sort(self, child: Expression, order: str) -> Expression:
+        d = child.descriptor
+        descriptor = Descriptor(
+            self.schema,
+            {
+                "attributes": tuple(d["attributes"]),
+                "num_records": d["num_records"],
+                "tuple_size": d["tuple_size"],
+                "tuple_order": order,
+            },
+        )
+        return Expression(SORT, (child,), descriptor)

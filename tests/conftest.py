@@ -1,0 +1,153 @@
+"""Shared fixtures for the test suite.
+
+Rule sets and their translations are expensive enough to build once per
+session; catalogs and databases are small and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.predicates import equals_attr, equals_const
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+from repro.engine.executor import Database
+from repro.optimizers.oodb import build_oodb_prairie
+from repro.optimizers.oodb_volcano import build_oodb_volcano
+from repro.optimizers.relational import build_relational_prairie
+from repro.optimizers.relational_volcano import build_relational_volcano
+from repro.optimizers.schema import make_schema
+from repro.prairie.translate import translate
+from repro.workloads.trees import TreeBuilder
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return make_schema()
+
+
+@pytest.fixture(scope="session")
+def relational_prairie():
+    return build_relational_prairie()
+
+
+@pytest.fixture(scope="session")
+def relational_translation(relational_prairie):
+    return translate(relational_prairie)
+
+
+@pytest.fixture(scope="session")
+def relational_volcano_generated(relational_translation):
+    return relational_translation.volcano
+
+
+@pytest.fixture(scope="session")
+def relational_volcano_hand():
+    return build_relational_volcano()
+
+
+@pytest.fixture(scope="session")
+def oodb_prairie():
+    return build_oodb_prairie()
+
+
+@pytest.fixture(scope="session")
+def oodb_translation(oodb_prairie):
+    return translate(oodb_prairie)
+
+
+@pytest.fixture(scope="session")
+def oodb_volcano_generated(oodb_translation):
+    return oodb_translation.volcano
+
+
+@pytest.fixture(scope="session")
+def oodb_volcano_hand():
+    return build_oodb_volcano()
+
+
+def small_relational_catalog(with_indices: bool = True) -> Catalog:
+    """Three relations R1–R3 with a linear join structure (a/b attrs)."""
+    indices1 = (IndexInfo("a1"),) if with_indices else ()
+    indices2 = (IndexInfo("a2"),) if with_indices else ()
+    return Catalog(
+        [
+            StoredFileInfo("R1", ("a1", "b1"), 1000, 100, indices=indices1),
+            StoredFileInfo("R2", ("a2", "b2"), 500, 100, indices=indices2),
+            StoredFileInfo("R3", ("a3", "b3"), 2000, 100),
+        ]
+    )
+
+
+@pytest.fixture()
+def rel_catalog():
+    return small_relational_catalog()
+
+
+@pytest.fixture()
+def rel_builder(schema, rel_catalog):
+    return TreeBuilder(schema, rel_catalog)
+
+
+def tiny_exec_catalog() -> Catalog:
+    """A small catalog with references and sets, sized for execution."""
+    return Catalog(
+        [
+            StoredFileInfo(
+                "C1",
+                ("a1", "b1", "r1", "s1"),
+                40,
+                100,
+                indices=(IndexInfo("a1"),),
+                reference_attrs=(("r1", "T1"),),
+                set_valued_attrs=("s1",),
+            ),
+            StoredFileInfo(
+                "C2",
+                ("a2", "b2", "r2", "s2"),
+                30,
+                100,
+                reference_attrs=(("r2", "T2"),),
+                set_valued_attrs=("s2",),
+            ),
+            StoredFileInfo(
+                "T1",
+                ("t1_id", "t1_x", "t1_y"),
+                20,
+                80,
+                identity_attr="t1_id",
+            ),
+            StoredFileInfo(
+                "T2",
+                ("t2_id", "t2_x", "t2_y"),
+                25,
+                80,
+                identity_attr="t2_id",
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def exec_catalog():
+    return tiny_exec_catalog()
+
+
+@pytest.fixture()
+def exec_db(exec_catalog):
+    return Database(exec_catalog, seed=11)
+
+
+@pytest.fixture()
+def exec_builder(schema, exec_catalog):
+    return TreeBuilder(schema, exec_catalog)
+
+
+# Handy predicate shorthands for tests.
+@pytest.fixture()
+def join_pred_12():
+    return equals_attr("b1", "b2")
+
+
+@pytest.fixture()
+def sel_pred_a1():
+    return equals_const("a1", 3)

@@ -1,0 +1,242 @@
+"""Unit tests for the rule action language (AST + interpreter)."""
+
+import pytest
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.properties import (
+    DescriptorSchema,
+    DONT_CARE,
+    PropertyDef,
+    PropertyType,
+)
+from repro.errors import ActionError
+from repro.prairie.actions import (
+    ActionBlock,
+    ActionEnv,
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Lit,
+    PropRef,
+    PyAction,
+    PyTest,
+    TestExpr as ActionTestExpr,
+    TRUE_TEST,
+    UnaryOp,
+    expr_descriptor_reads,
+)
+from repro.prairie.helpers import default_helpers
+
+
+@pytest.fixture()
+def schema():
+    return DescriptorSchema(
+        [
+            PropertyDef("cost", PropertyType.COST),
+            PropertyDef("num_records", PropertyType.FLOAT),
+            PropertyDef("tuple_order", PropertyType.ORDER),
+            PropertyDef("attributes", PropertyType.ATTRS),
+        ]
+    )
+
+
+@pytest.fixture()
+def env(schema):
+    d1 = Descriptor(schema, {"cost": 2.0, "num_records": 10.0, "attributes": ("a",)})
+    d2 = Descriptor(schema)
+    return ActionEnv(
+        {"D1": d1, "D2": d2},
+        default_helpers(),
+        context=None,
+        readonly=("D1",),
+    )
+
+
+class TestExpressionEvaluation:
+    def test_literal(self, env):
+        assert env.eval(Lit(5)) == 5
+
+    def test_desc_ref(self, env):
+        assert env.eval(DescRef("D1")) is env.descriptors["D1"]
+
+    def test_unbound_descriptor(self, env):
+        with pytest.raises(ActionError):
+            env.eval(DescRef("D9"))
+
+    def test_prop_ref(self, env):
+        assert env.eval(PropRef("D1", "cost")) == 2.0
+
+    def test_arithmetic(self, env):
+        expr = BinOp("+", PropRef("D1", "cost"), Lit(3))
+        assert env.eval(expr) == 5.0
+
+    def test_all_arithmetic_operators(self, env):
+        cases = {"+": 12.0, "-": 8.0, "*": 20.0, "/": 5.0, "%": 0.0}
+        for op, expected in cases.items():
+            expr = BinOp(op, PropRef("D1", "num_records"), Lit(2))
+            assert env.eval(expr) == expected
+
+    def test_comparisons(self, env):
+        assert env.eval(BinOp("<", PropRef("D1", "cost"), Lit(3)))
+        assert not env.eval(BinOp(">=", PropRef("D1", "cost"), Lit(3)))
+
+    def test_boolean_short_circuit(self, env):
+        # The right side would raise (unknown helper); && must not reach it.
+        expr = BinOp("&&", Lit(False), Call("nope", ()))
+        assert env.eval(expr) is False
+        expr = BinOp("||", Lit(True), Call("nope", ()))
+        assert env.eval(expr) is True
+
+    def test_unary(self, env):
+        assert env.eval(UnaryOp("!", Lit(False))) is True
+        assert env.eval(UnaryOp("-", Lit(3))) == -3
+
+    def test_unknown_unary(self, env):
+        with pytest.raises(ActionError):
+            env.eval(UnaryOp("~", Lit(1)))
+
+    def test_helper_call(self, env):
+        expr = Call("union", (Lit(("a",)), Lit(("b",))))
+        assert env.eval(expr) == ("a", "b")
+
+    def test_unknown_helper(self, env):
+        with pytest.raises(ActionError):
+            env.eval(Call("mystery", ()))
+
+    def test_dont_care_equality_comparisons(self, env):
+        assert env.eval(BinOp("==", Lit(DONT_CARE), Lit(DONT_CARE)))
+        assert env.eval(BinOp("!=", PropRef("D1", "tuple_order"), Lit("x")))
+
+    def test_dont_care_arithmetic_rejected(self, env):
+        expr = BinOp("+", PropRef("D1", "tuple_order"), Lit(1))
+        with pytest.raises(ActionError):
+            env.eval(expr)
+
+
+class TestStatements:
+    def test_assign_prop(self, env):
+        AssignProp("D2", "cost", Lit(7.0)).execute(env)
+        assert env.descriptors["D2"]["cost"] == 7.0
+
+    def test_assign_prop_to_readonly_rejected(self, env):
+        with pytest.raises(ActionError):
+            AssignProp("D1", "cost", Lit(7.0)).execute(env)
+
+    def test_assign_desc_copies(self, env):
+        AssignDesc("D2", DescRef("D1")).execute(env)
+        assert env.descriptors["D2"]["cost"] == 2.0
+        env.descriptors["D2"]["cost"] = 99.0
+        assert env.descriptors["D1"]["cost"] == 2.0  # no aliasing
+
+    def test_assign_desc_to_readonly_rejected(self, env):
+        with pytest.raises(ActionError):
+            AssignDesc("D1", DescRef("D2")).execute(env)
+
+    def test_assign_desc_requires_descriptor_value(self, env):
+        with pytest.raises(ActionError):
+            AssignDesc("D2", Lit(5)).execute(env)
+
+    def test_py_action_runs(self, env):
+        action = PyAction(lambda e: e.descriptors["D2"].__setitem__("cost", 1.0))
+        action.execute(env)
+        assert env.descriptors["D2"]["cost"] == 1.0
+
+    def test_py_action_declared_readonly_write_rejected(self, env):
+        action = PyAction(lambda e: None, writes=(("D1", "cost"),))
+        with pytest.raises(ActionError):
+            action.execute(env)
+
+    def test_py_action_declared_desc_write_readonly_rejected(self, env):
+        action = PyAction(lambda e: None, desc_writes=("D1",))
+        with pytest.raises(ActionError):
+            action.execute(env)
+
+
+class TestBlocks:
+    def block(self):
+        return ActionBlock(
+            [
+                AssignDesc("D2", DescRef("D1")),
+                AssignProp("D2", "cost", BinOp("*", PropRef("D1", "cost"), Lit(2))),
+            ]
+        )
+
+    def test_execute_in_order(self, env):
+        self.block().execute(env)
+        assert env.descriptors["D2"]["cost"] == 4.0
+
+    def test_property_writes(self):
+        assert self.block().property_writes() == frozenset({("D2", "cost")})
+
+    def test_descriptor_writes(self):
+        assert self.block().descriptor_writes() == frozenset({"D2"})
+
+    def test_assigned_descriptors(self):
+        assert self.block().assigned_descriptors() == frozenset({"D2"})
+
+    def test_read_descriptors(self):
+        assert self.block().read_descriptors() == frozenset({"D1"})
+
+    def test_py_action_writes_counted(self):
+        block = ActionBlock(
+            [PyAction(lambda e: None, writes=(("D3", "cost"),), desc_writes=("D4",))]
+        )
+        assert block.property_writes() == frozenset({("D3", "cost")})
+        assert block.descriptor_writes() == frozenset({"D4"})
+
+    def test_empty_block_falsy(self):
+        assert not ActionBlock()
+        assert self.block()
+
+    def test_len_iter(self):
+        assert len(self.block()) == 2
+        assert len(list(iter(self.block()))) == 2
+
+    def test_str_rendering(self):
+        text = str(self.block())
+        assert "{{" in text and "}}" in text
+        assert "D2.cost" in text
+
+
+class TestTests:
+    def test_true_test(self, env):
+        assert TRUE_TEST.evaluate(env)
+        assert TRUE_TEST.is_trivially_true
+        assert str(TRUE_TEST) == "TRUE"
+
+    def test_expression_test(self, env):
+        test = ActionTestExpr(BinOp(">", PropRef("D1", "cost"), Lit(1)))
+        assert test.evaluate(env)
+        assert not test.is_trivially_true
+
+    def test_test_read_descriptors(self):
+        test = ActionTestExpr(BinOp(">", PropRef("D1", "cost"), PropRef("D3", "cost")))
+        assert test.read_descriptors() == frozenset({"D1", "D3"})
+
+    def test_py_test(self, env):
+        test = PyTest(lambda e: e.descriptors["D1"]["cost"] == 2.0)
+        assert test.evaluate(env)
+        assert not test.is_trivially_true
+
+
+class TestExprIntrospection:
+    def test_expr_descriptor_reads_nested(self):
+        expr = Call(
+            "union",
+            (
+                PropRef("D1", "attributes"),
+                BinOp("+", DescRef("D2"), UnaryOp("-", PropRef("D3", "cost"))),
+            ),
+        )
+        assert expr_descriptor_reads(expr) == frozenset({"D1", "D2", "D3"})
+
+    def test_str_renderings(self):
+        assert str(Lit(DONT_CARE)) == "DONT_CARE"
+        assert str(Lit(True)) == "TRUE"
+        assert str(Lit(False)) == "FALSE"
+        assert str(PropRef("D1", "cost")) == "D1.cost"
+        assert str(Call("f", (Lit(1),))) == "f(1)"
+        assert str(BinOp("+", Lit(1), Lit(2))) == "(1 + 2)"
+        assert str(UnaryOp("!", Lit(True))) == "!TRUE"

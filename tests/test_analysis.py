@@ -1,0 +1,155 @@
+"""Unit tests for P2V's classification pass (paper Section 3.1)."""
+
+import pytest
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.errors import TranslationError
+from repro.prairie.analysis import analyse
+from repro.prairie.build import assign, block, copy_desc, lit, node, prop, var
+from repro.prairie.rules import IRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+def schema(extra_cost: bool = False, no_cost: bool = False):
+    props = [
+        PropertyDef("tuple_order", PropertyType.ORDER),
+        PropertyDef("compression", PropertyType.STRING),
+        PropertyDef("join_predicate", PropertyType.PREDICATE),
+        PropertyDef("num_records", PropertyType.FLOAT),
+    ]
+    if not no_cost:
+        props.append(PropertyDef("cost", PropertyType.COST))
+    if extra_cost:
+        props.append(PropertyDef("cost2", PropertyType.COST))
+    return DescriptorSchema(props)
+
+
+def make_ruleset(s=None):
+    rs = PrairieRuleSet("t", s or schema())
+    rs.declare_operator(Operator.streams("SORT", 1))
+    rs.declare_operator(Operator.streams("COMPRESS", 1))
+    rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+    rs.declare_algorithm(Algorithm.streams("Zip", 1))
+    rs.add_irule(
+        IRule(
+            name="sort_ms",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Merge_sort", var("S1"), desc="D3"),
+            pre_opt=block(copy_desc("D3", "D2")),
+        )
+    )
+    rs.add_irule(
+        IRule(
+            name="sort_null",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Null", var("S1", "D3"), desc="D4"),
+            pre_opt=block(
+                copy_desc("D4", "D2"),
+                copy_desc("D3", "D1"),
+                assign("D3", "tuple_order", prop("D2", "tuple_order")),
+            ),
+        )
+    )
+    rs.add_irule(
+        IRule(
+            name="compress_zip",
+            lhs=node("COMPRESS", var("S1", "D1"), desc="D2"),
+            rhs=node("Zip", var("S1", "D3"), desc="D4"),
+            pre_opt=block(
+                copy_desc("D4", "D2"),
+                assign("D3", "compression", lit("none")),
+            ),
+            post_opt=block(assign("D4", "cost", prop("D3", "cost"))),
+        )
+    )
+    return rs
+
+
+class TestClassification:
+    def test_cost_property_from_type(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.cost_property == "cost"
+        assert analysis.cost_properties == ("cost",)
+
+    def test_physical_from_pre_opt_writes(self):
+        analysis = analyse(make_ruleset())
+        assert set(analysis.physical_properties) == {"tuple_order", "compression"}
+
+    def test_physical_preserves_schema_order(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.physical_properties == ("tuple_order", "compression")
+
+    def test_argument_is_the_rest(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.argument_properties == ("join_predicate", "num_records")
+
+    def test_whole_descriptor_copies_are_not_physical_writes(self):
+        # copy_desc("D3", "D2") alone must not classify anything physical.
+        s = schema()
+        rs = PrairieRuleSet("t", s)
+        rs.declare_operator(Operator.streams("SORT", 1))
+        rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+        rs.add_irule(
+            IRule(
+                name="sort_ms",
+                lhs=node("SORT", var("S1", "D1"), desc="D2"),
+                rhs=node("Merge_sort", var("S1"), desc="D3"),
+                pre_opt=block(copy_desc("D3", "D2")),
+            )
+        )
+        analysis = analyse(rs)
+        assert analysis.physical_properties == ()
+
+    def test_post_opt_writes_do_not_classify_physical(self):
+        analysis = analyse(make_ruleset())
+        # compress_zip assigns D4.cost in post-opt only; cost is COST-typed
+        # anyway, but no other post-opt-only property becomes physical.
+        assert "cost" not in analysis.physical_properties
+
+    def test_i_rules_override(self):
+        rs = make_ruleset()
+        analysis = analyse(rs, i_rules=[])
+        assert analysis.physical_properties == ()
+
+    def test_missing_cost_property_rejected(self):
+        rs = make_ruleset(schema(no_cost=True))
+        with pytest.raises(TranslationError):
+            analyse(rs)
+
+    def test_multiple_cost_properties_rejected(self):
+        rs = make_ruleset(schema(extra_cost=True))
+        with pytest.raises(TranslationError):
+            analyse(rs)
+
+
+class TestEnforcerDetection:
+    def test_null_rule_marks_enforcer_operator(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.enforcer_operators == ("SORT",)
+
+    def test_enforcer_algorithms(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.enforcer_algorithms == ("Merge_sort",)
+
+    def test_operator_without_null_not_enforcer(self):
+        analysis = analyse(make_ruleset())
+        assert "COMPRESS" not in analysis.enforcer_operators
+
+
+class TestReporting:
+    def test_classify(self):
+        analysis = analyse(make_ruleset())
+        assert analysis.classify("cost") == "cost"
+        assert analysis.classify("tuple_order") == "physical"
+        assert analysis.classify("join_predicate") == "argument"
+
+    def test_summary_keys(self):
+        summary = analyse(make_ruleset()).summary()
+        assert set(summary) == {
+            "cost",
+            "physical",
+            "argument",
+            "enforcer_operators",
+            "enforcer_algorithms",
+        }

@@ -1,0 +1,125 @@
+"""Tests for the bottom-up (System R-style) search strategy."""
+
+import pytest
+
+from repro.volcano.bottomup import BottomUpOptimizer
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads import make_query_instance
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.expressions import build_e1
+from repro.workloads.trees import TreeBuilder
+
+
+class TestPlanEquality:
+    """Both engines are exact: identical best costs everywhere."""
+
+    @pytest.mark.parametrize("qid", ["Q1", "Q2", "Q3", "Q5", "Q7"])
+    def test_same_cost_as_top_down(self, schema, oodb_volcano_generated, qid):
+        catalog, tree = make_query_instance(schema, qid, 2, 0)
+        top_down = VolcanoOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        bottom_up = BottomUpOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        assert bottom_up.cost == pytest.approx(top_down.cost, rel=1e-12)
+        assert bottom_up.equivalence_classes == top_down.equivalence_classes
+
+    @pytest.mark.parametrize("n_joins", [1, 2, 3, 4])
+    def test_relational_sizes(self, schema, relational_volcano_generated, n_joins):
+        catalog = make_experiment_catalog(
+            n_joins + 1, with_targets=False, instance=0
+        )
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, n_joins)
+        top_down = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            tree
+        )
+        bottom_up = BottomUpOptimizer(
+            relational_volcano_generated, catalog
+        ).optimize(tree)
+        assert bottom_up.cost == pytest.approx(top_down.cost, rel=1e-12)
+
+    def test_required_order_same_cost(self, schema, relational_volcano_generated):
+        catalog = make_experiment_catalog(3, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 2)
+        top_down = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            tree, required=("b1",)
+        )
+        bottom_up = BottomUpOptimizer(
+            relational_volcano_generated, catalog
+        ).optimize(tree, required=("b1",))
+        assert bottom_up.cost == pytest.approx(top_down.cost, rel=1e-12)
+
+    def test_without_interesting_orders_still_correct(
+        self, schema, relational_volcano_generated
+    ):
+        catalog = make_experiment_catalog(3, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 2)
+        plain = BottomUpOptimizer(
+            relational_volcano_generated, catalog, interesting_orders=False
+        ).optimize(tree, required=("b1",))
+        top_down = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            tree, required=("b1",)
+        )
+        assert plain.cost == pytest.approx(top_down.cost, rel=1e-12)
+
+
+class TestEagerness:
+    """The defining difference: bottom-up computes more winners."""
+
+    def test_more_winners_cached(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 3, 0)
+        top_down = VolcanoOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        bottom_up = BottomUpOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        assert bottom_up.stats.winners_cached > top_down.stats.winners_cached
+
+    def test_interesting_orders_increase_work(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q2", 3, 0)
+        with_orders = BottomUpOptimizer(
+            oodb_volcano_generated, catalog, interesting_orders=True
+        ).optimize(tree)
+        without = BottomUpOptimizer(
+            oodb_volcano_generated, catalog, interesting_orders=False
+        ).optimize(tree)
+        assert with_orders.stats.winners_cached >= without.stats.winners_cached
+
+
+class TestInternals:
+    def test_bottom_up_order_children_first(self, schema, oodb_volcano_generated):
+        from repro.volcano.memo import Memo
+
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        optimizer = BottomUpOptimizer(oodb_volcano_generated, catalog)
+        memo = Memo(oodb_volcano_generated.argument_properties)
+        memo.from_expression(tree)
+        order = optimizer._bottom_up_order(memo)
+        assert sorted(order) == list(range(memo.group_count))
+        position = {gid: i for i, gid in enumerate(order)}
+        for group in memo.groups:
+            for mexpr in group.mexprs:
+                for child in mexpr.inputs:
+                    assert position[child] < position[group.gid]
+
+    def test_interesting_orders_contents(self, schema, oodb_volcano_generated):
+        from repro.volcano.memo import Memo
+        from repro.volcano.properties import dont_care_vector
+
+        catalog, tree = make_query_instance(schema, "Q2", 2, 0)
+        optimizer = BottomUpOptimizer(oodb_volcano_generated, catalog)
+        memo = Memo(oodb_volcano_generated.argument_properties)
+        memo.from_expression(tree)
+        orders = optimizer._interesting_orders(
+            memo, dont_care_vector(("tuple_order",))
+        )
+        # join attributes of the linear chain
+        assert {"b1", "b2", "b3"} <= orders
+        # indexed selection attributes (Q2 catalogs carry indices)
+        assert "a1" in orders
+
+    def test_wrong_vector_length_rejected(self, schema, oodb_volcano_generated):
+        from repro.errors import SearchError
+
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        with pytest.raises(SearchError):
+            BottomUpOptimizer(oodb_volcano_generated, catalog).optimize(
+                tree, required=("a", "b")
+            )

@@ -1,0 +1,251 @@
+"""Unit tests for the catalog (stored files, indices, statistics, data)."""
+
+import pytest
+
+from repro.catalog.data import (
+    ROW_ID_ATTR,
+    domain_constant,
+    generate_rows,
+    materialize_catalog,
+)
+from repro.catalog.predicates import equals_attr, equals_const, conjoin
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+from repro.catalog.statistics import (
+    DISTINCT_FRACTION,
+    comparison_selectivity,
+    distinct_values,
+    estimate_join_cardinality,
+    estimate_selection_cardinality,
+    indexable_conjuncts,
+    join_selectivity,
+    selection_selectivity,
+)
+from repro.errors import CatalogError
+
+
+def make_catalog():
+    return Catalog(
+        [
+            StoredFileInfo("R1", ("a1", "b1"), 1000, 100, indices=(IndexInfo("a1"),)),
+            StoredFileInfo("R2", ("a2", "b2"), 500, 100),
+        ]
+    )
+
+
+class TestStoredFileInfo:
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a",), -1)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a", "a"), 10)
+
+    def test_index_on_unknown_attribute_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a",), 10, indices=(IndexInfo("b"),))
+
+    def test_reference_attr_must_be_declared(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a",), 10, reference_attrs=(("r", "T"),))
+
+    def test_set_valued_attr_must_be_declared(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a",), 10, set_valued_attrs=("s",))
+
+    def test_identity_attr_must_be_declared(self):
+        with pytest.raises(CatalogError):
+            StoredFileInfo("R", ("a",), 10, identity_attr="id")
+
+    def test_has_index_on(self):
+        info = StoredFileInfo("R", ("a", "b"), 10, indices=(IndexInfo("a"),))
+        assert info.has_index_on("a")
+        assert not info.has_index_on("b")
+        assert info.index_on("a").attribute == "a"
+        assert info.index_on("b") is None
+
+    def test_references_mapping(self):
+        info = StoredFileInfo(
+            "R", ("r",), 10, reference_attrs=(("r", "T"),)
+        )
+        assert info.references == {"r": "T"}
+
+    def test_index_str(self):
+        assert "secondary" in str(IndexInfo("a"))
+        assert "clustered" in str(IndexInfo("a", clustered=True))
+
+
+class TestCatalog:
+    def test_lookup(self):
+        catalog = make_catalog()
+        assert catalog["R1"].cardinality == 1000
+        assert "R2" in catalog
+        assert len(catalog) == 2
+        assert catalog.names == ("R1", "R2")
+
+    def test_unknown_file(self):
+        with pytest.raises(CatalogError):
+            make_catalog()["R9"]
+
+    def test_duplicate_file_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add(StoredFileInfo("R1", ("x",), 1))
+
+    def test_file_of_attribute(self):
+        catalog = make_catalog()
+        assert catalog.file_of_attribute("b2").name == "R2"
+
+    def test_file_of_attribute_unknown(self):
+        with pytest.raises(CatalogError):
+            make_catalog().file_of_attribute("zz")
+
+    def test_file_of_attribute_ambiguous(self):
+        catalog = Catalog(
+            [
+                StoredFileInfo("X", ("shared",), 1),
+                StoredFileInfo("Y", ("shared",), 1),
+            ]
+        )
+        with pytest.raises(CatalogError):
+            catalog.file_of_attribute("shared")
+
+    def test_attribute_index_invalidated_on_add(self):
+        catalog = make_catalog()
+        catalog.file_of_attribute("a1")  # build cache
+        catalog.add(StoredFileInfo("R3", ("c3",), 10))
+        assert catalog.file_of_attribute("c3").name == "R3"
+
+
+class TestStatistics:
+    def test_distinct_values(self):
+        catalog = make_catalog()
+        assert distinct_values(catalog, "a1") == round(1000 * DISTINCT_FRACTION)
+
+    def test_equality_const_selectivity(self):
+        catalog = make_catalog()
+        sel = comparison_selectivity(catalog, equals_const("a1", 3))
+        assert sel == pytest.approx(1.0 / 100)
+
+    def test_equijoin_selectivity_uses_larger_side(self):
+        catalog = make_catalog()
+        sel = comparison_selectivity(catalog, equals_attr("a1", "a2"))
+        assert sel == pytest.approx(1.0 / 100)  # max(100, 50)
+
+    def test_conjunction_independence(self):
+        catalog = make_catalog()
+        pred = conjoin(equals_const("a1", 1), equals_const("a2", 2))
+        expected = (1.0 / 100) * (1.0 / 50)
+        assert selection_selectivity(catalog, pred) == pytest.approx(expected)
+
+    def test_true_predicate_selectivity_one(self):
+        catalog = make_catalog()
+        assert join_selectivity(catalog, None) == 1.0
+
+    def test_join_cardinality(self):
+        catalog = make_catalog()
+        estimate = estimate_join_cardinality(
+            catalog, 1000, 500, equals_attr("a1", "a2")
+        )
+        assert estimate == pytest.approx(1000 * 500 / 100)
+
+    def test_selection_cardinality(self):
+        catalog = make_catalog()
+        estimate = estimate_selection_cardinality(
+            catalog, 1000, equals_const("a1", 1)
+        )
+        assert estimate == pytest.approx(10.0)
+
+    def test_indexable_conjuncts(self):
+        catalog = make_catalog()
+        pred = conjoin(equals_const("a1", 1), equals_const("b1", 2))
+        matched = indexable_conjuncts(catalog, "R1", pred)
+        assert matched == (equals_const("a1", 1),)
+
+    def test_indexable_conjuncts_reversed_form(self):
+        from repro.catalog.predicates import AttrRef, Comparison, Const
+
+        catalog = make_catalog()
+        atom = Comparison(Const(1), "=", AttrRef("a1"))
+        assert indexable_conjuncts(catalog, "R1", atom) == (atom,)
+
+    def test_indexable_conjuncts_none_without_index(self):
+        catalog = make_catalog()
+        assert indexable_conjuncts(catalog, "R2", equals_const("a2", 1)) == ()
+
+
+class TestDataGeneration:
+    def make(self):
+        return Catalog(
+            [
+                StoredFileInfo(
+                    "C1",
+                    ("a1", "r1", "s1"),
+                    50,
+                    reference_attrs=(("r1", "T1"),),
+                    set_valued_attrs=("s1",),
+                ),
+                StoredFileInfo(
+                    "T1", ("t1_id", "t1_x"), 20, identity_attr="t1_id"
+                ),
+            ]
+        )
+
+    def test_cardinality_respected(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["C1"], catalog)
+        assert len(rows) == 50
+
+    def test_deterministic(self):
+        catalog = self.make()
+        a = generate_rows(catalog["C1"], catalog, seed=5)
+        b = generate_rows(catalog["C1"], catalog, seed=5)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        catalog = self.make()
+        assert generate_rows(catalog["C1"], catalog, seed=1) != generate_rows(
+            catalog["C1"], catalog, seed=2
+        )
+
+    def test_row_ids_sequential(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["C1"], catalog)
+        assert [r[ROW_ID_ATTR] for r in rows] == list(range(50))
+
+    def test_references_valid(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["C1"], catalog)
+        assert all(0 <= r["r1"] < 20 for r in rows)
+
+    def test_identity_attr_equals_rid(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["T1"], catalog)
+        assert all(r["t1_id"] == r[ROW_ID_ATTR] for r in rows)
+
+    def test_set_valued_attrs_are_tuples(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["C1"], catalog)
+        assert all(isinstance(r["s1"], tuple) for r in rows)
+
+    def test_reference_to_empty_file_rejected(self):
+        catalog = Catalog(
+            [
+                StoredFileInfo("C", ("r",), 5, reference_attrs=(("r", "T"),)),
+                StoredFileInfo("T", ("x",), 0),
+            ]
+        )
+        with pytest.raises(CatalogError):
+            generate_rows(catalog["C"], catalog)
+
+    def test_materialize_catalog(self):
+        catalog = self.make()
+        data = materialize_catalog(catalog, seed=3)
+        assert set(data) == {"C1", "T1"}
+        assert len(data["T1"]) == 20
+
+    def test_domain_constant_within_domain(self):
+        catalog = self.make()
+        rows = generate_rows(catalog["C1"], catalog)
+        constant = domain_constant(catalog["C1"])
+        assert any(r["a1"] == constant for r in rows) or constant < 5

@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart renderer used by the figure benchmarks."""
+
+import pytest
+
+from repro.bench.charts import (
+    CHART_HEIGHT,
+    CHART_WIDTH,
+    ascii_chart,
+    chart_class_growth,
+    chart_query_points,
+)
+from repro.bench.harness import QueryPoint
+
+
+def make_point(n, prairie=0.001, volcano=0.001):
+    return QueryPoint(
+        qid="Q1",
+        n_joins=n,
+        prairie_seconds=prairie * n,
+        volcano_seconds=volcano * n,
+        equivalence_classes=5 * n,
+        mexprs=10 * n,
+        best_cost=100.0,
+        trans_matched=2,
+        impl_matched=2,
+        trans_applicable=2,
+        impl_applicable=2,
+        instances=1,
+    )
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_dimensions(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, 2.0)]}, title="t")
+        lines = chart.splitlines()
+        # title + HEIGHT rows + axis + x labels + legend
+        assert len(lines) == 1 + CHART_HEIGHT + 3
+        body = lines[1 : 1 + CHART_HEIGHT]
+        assert all("|" in line for line in body)
+
+    def test_markers_placed(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, 10.0)]})
+        assert chart.count("*") >= 2 + 1  # two points + legend marker
+
+    def test_legend_lists_series(self):
+        chart = ascii_chart({"alpha": [(1, 1.0)], "beta": [(1, 2.0)]})
+        assert "* = alpha" in chart
+        assert "o = beta" in chart
+
+    def test_y_extremes_labeled(self):
+        chart = ascii_chart(
+            {"a": [(1, 0.001), (2, 1.0)]},
+        )
+        assert "1.0ms" in chart
+        assert "1.00s" in chart
+
+    def test_single_point_no_crash(self):
+        chart = ascii_chart({"a": [(3, 0.5)]})
+        assert "3" in chart
+
+    def test_linear_scale(self):
+        chart = ascii_chart(
+            {"a": [(1, 1.0), (2, 2.0)]},
+            log_y=False,
+            y_format=lambda v: f"{v:.0f}",
+        )
+        assert "2 |" in chart
+
+    def test_x_axis_labels(self):
+        chart = ascii_chart({"a": [(1, 1.0), (8, 2.0)]}, x_label="joins")
+        assert "(joins)" in chart
+        assert "8" in chart
+
+
+class TestChartHelpers:
+    def test_chart_query_points(self):
+        points = [make_point(n) for n in (1, 2, 3)]
+        chart = chart_query_points("Figure X", {"Q1": points})
+        assert "Figure X" in chart
+        assert "Q1 Prairie" in chart
+        assert "Q1 Volcano" in chart
+
+    def test_chart_class_growth(self):
+        chart = chart_class_growth(
+            "fig14",
+            {"E1": [(1, 5, 6), (2, 9, 15)], "E3": [(1, 10, 25)]},
+        )
+        assert "E1" in chart
+        assert "E3" in chart

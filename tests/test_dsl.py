@@ -1,0 +1,253 @@
+"""Unit tests for the Prairie DSL: lexer and parser."""
+
+import pytest
+
+from repro.algebra.operations import InputKind
+from repro.algebra.patterns import PatternNode, PatternVar
+from repro.algebra.properties import DONT_CARE, PropertyType
+from repro.errors import DslNameError, DslSyntaxError
+from repro.prairie.actions import (
+    AssignDesc,
+    AssignProp,
+    BinOp,
+    Call,
+    DescRef,
+    Lit,
+    PropRef,
+    UnaryOp,
+)
+from repro.prairie.dsl import TokenKind, compile_spec, parse_spec, tokenize
+from repro.prairie.helpers import default_helpers
+
+
+class TestLexer:
+    def kinds(self, source):
+        return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_names_and_keywords(self):
+        tokens = tokenize("operator JOIN")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.NAME
+
+    def test_literal_words(self):
+        assert self.kinds("TRUE FALSE DONT_CARE") == [
+            TokenKind.TRUE,
+            TokenKind.FALSE,
+            TokenKind.DONT_CARE,
+        ]
+
+    def test_braces_and_arrow(self):
+        assert self.kinds("{{ }} =>") == [
+            TokenKind.LBRACE2,
+            TokenKind.RBRACE2,
+            TokenKind.ARROW,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].text == "42"
+        assert tokens[1].text == "3.5"
+
+    def test_trailing_dot_is_punctuation(self):
+        # "D1.cost" style: 1 DOT name — but "3." followed by name splits.
+        kinds = self.kinds("D1.cost")
+        assert kinds == [TokenKind.NAME, TokenKind.DOT, TokenKind.NAME]
+
+    def test_strings(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape(self):
+        assert tokenize(r'"a\"b"')[0].text == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"oops')
+
+    def test_line_comments(self):
+        assert self.kinds("// comment\n# more\nJOIN") == [TokenKind.NAME]
+
+    def test_block_comments(self):
+        assert self.kinds("/* multi\nline */ JOIN") == [TokenKind.NAME]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("/* oops")
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("== != <= >= && || = <")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["==", "!=", "<=", ">=", "&&", "||", "=", "<"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("@")
+
+
+MINI = """
+property cost : cost;
+property tuple_order : order;
+property num_records : float;
+
+operator SORT(stream);
+algorithm Merge_sort(stream);
+algorithm Null(stream);
+
+irule sort_ms:
+    SORT(?S1:D1):D2 => Merge_sort(?S1):D3
+    ( D2.tuple_order != DONT_CARE )
+    {{ D3 = D2; }}
+    {{ D3.cost = D1.cost + 0.02 * D3.num_records * log2(D3.num_records); }}
+
+irule sort_null:
+    SORT(?S1:D1):D2 => Null(?S1:D3):D4
+    ( TRUE )
+    {{ D4 = D2; D3 = D1; D3.tuple_order = D2.tuple_order; }}
+    {{ D4.cost = D3.cost; }}
+"""
+
+
+class TestParser:
+    def test_property_declarations(self):
+        spec = parse_spec(MINI)
+        assert [p.name for p in spec.properties] == [
+            "cost",
+            "tuple_order",
+            "num_records",
+        ]
+        assert spec.properties[0].type is PropertyType.COST
+
+    def test_property_with_default(self):
+        spec = parse_spec("property n : int = 5;")
+        assert spec.properties[0].default == 5
+
+    def test_operator_kinds(self):
+        spec = parse_spec("operator RET(file); operator JOIN(stream, stream);")
+        assert spec.operators[0].inputs == (InputKind.FILE,)
+        assert spec.operators[1].arity == 2
+
+    def test_rules_parsed(self):
+        spec = parse_spec(MINI)
+        assert [r.name for r in spec.i_rules] == ["sort_ms", "sort_null"]
+        assert spec.counts()["i_rules"] == 2
+
+    def test_pattern_structure(self):
+        spec = parse_spec(MINI)
+        rule = spec.i_rules[0]
+        assert rule.lhs == PatternNode("SORT", (PatternVar("S1", "D1"),), "D2")
+        assert rule.rhs.op_name == "Merge_sort"
+
+    def test_statement_kinds(self):
+        spec = parse_spec(MINI)
+        null_rule = spec.i_rules[1]
+        statements = null_rule.pre_opt.statements
+        assert isinstance(statements[0], AssignDesc)
+        assert isinstance(statements[2], AssignProp)
+
+    def test_expression_precedence(self):
+        spec = parse_spec(MINI)
+        cost_stmt = spec.i_rules[0].post_opt.statements[0]
+        assert isinstance(cost_stmt, AssignProp)
+        # D1.cost + (0.02 * D3.num_records * log2(...)) — '+' at the top
+        expr = cost_stmt.expr
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_trule_sections(self):
+        src = (
+            "trule commute:\n"
+            "  JOIN(?S1:DL1, ?S2:DL2):D1 => JOIN(?S2, ?S1):D2\n"
+            "  {{ }}\n"
+            "  ( TRUE )\n"
+            "  {{ D2 = D1; }}\n"
+        )
+        spec = parse_spec(src)
+        rule = spec.t_rules[0]
+        assert len(rule.pre_test) == 0
+        assert len(rule.post_test) == 1
+
+    def test_unary_and_comparison(self):
+        src = (
+            "trule t:\n"
+            "  A(?S:DL):D1 => B(?S):D2\n"
+            "  {{ }}\n"
+            "  ( !contains(DL.x, 3) && DL.x >= -1 )\n"
+            "  {{ }}\n"
+        )
+        rule = parse_spec(src).t_rules[0]
+        expr = rule.test.expr  # type: ignore[union-attr]
+        assert isinstance(expr, BinOp) and expr.op == "&&"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_dont_care_literal(self):
+        spec = parse_spec(MINI)
+        test = spec.i_rules[0].test
+        assert Lit(DONT_CARE) == test.expr.right  # type: ignore[union-attr]
+
+    def test_syntax_error_missing_semicolon(self):
+        with pytest.raises(DslSyntaxError):
+            parse_spec("property cost : cost")
+
+    def test_syntax_error_unknown_property_type(self):
+        with pytest.raises(DslSyntaxError):
+            parse_spec("property cost : money;")
+
+    def test_syntax_error_bad_declaration(self):
+        with pytest.raises(DslSyntaxError):
+            parse_spec("bogus thing;")
+
+    def test_helper_declaration(self):
+        spec = parse_spec("helper union;")
+        assert spec.helper_names == ["union"]
+
+
+class TestCompileSpec:
+    def test_compiles_and_validates(self):
+        ruleset = compile_spec(MINI, name="mini")
+        assert ruleset.name == "mini"
+        assert len(ruleset.i_rules) == 2
+        assert "SORT" in ruleset.operators
+
+    def test_null_declaration_skipped(self):
+        ruleset = compile_spec(MINI)
+        # Null is framework-provided, not double-declared
+        assert ruleset.algorithms["Null"].is_null
+
+    def test_unknown_helper_in_expression_rejected(self):
+        src = MINI.replace("log2(", "logarithm2(")
+        with pytest.raises(DslNameError):
+            compile_spec(src)
+
+    def test_declared_helper_missing_from_registry_rejected(self):
+        with pytest.raises(DslNameError):
+            compile_spec("helper missing_helper;")
+
+    def test_unknown_property_in_statement_rejected(self):
+        src = MINI.replace("D3.cost =", "D3.price =", 1)
+        with pytest.raises(DslNameError):
+            compile_spec(src)
+
+    def test_unknown_property_in_test_rejected(self):
+        src = MINI.replace("D2.tuple_order !=", "D2.sortedness !=", 1)
+        with pytest.raises(DslNameError):
+            compile_spec(src)
+
+    def test_custom_helpers_registry(self):
+        helpers = default_helpers()
+        src = "property cost : cost;\noperator X(stream);\nalgorithm Y(stream);\n" + (
+            "irule r:\n  X(?S:D1):D2 => Y(?S):D3\n  ( TRUE )\n"
+            "  {{ D3 = D2; }}\n  {{ D3.cost = 1.0; }}\n"
+        )
+        ruleset = compile_spec(src, helpers=helpers)
+        assert ruleset.helpers is helpers

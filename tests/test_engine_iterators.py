@@ -1,0 +1,192 @@
+"""Unit tests for the execution-engine iterators."""
+
+import pytest
+
+from repro.catalog.predicates import conjoin, equals_attr, equals_const
+from repro.engine import iterators as it
+from repro.errors import ExecutionError
+
+
+def rows(*dicts):
+    return list(dicts)
+
+
+R1 = rows(
+    {"a": 1, "b": 10},
+    {"a": 2, "b": 20},
+    {"a": 1, "b": 30},
+)
+R2 = rows(
+    {"c": 10, "d": "x"},
+    {"c": 30, "d": "y"},
+    {"c": 99, "d": "z"},
+)
+
+
+class TestProtocol:
+    def test_double_open_rejected(self):
+        scan = it.FileScan(R1)
+        scan.open()
+        with pytest.raises(ExecutionError):
+            scan.open()
+
+    def test_close_allows_reopen(self):
+        scan = it.FileScan(R1)
+        assert len(scan.drain()) == 3
+        assert len(scan.drain()) == 3
+
+    def test_python_iteration(self):
+        scan = it.FileScan(R1)
+        scan.open()
+        assert len(list(scan)) == 3
+
+
+class TestFileScan:
+    def test_full_scan(self):
+        assert it.FileScan(R1).drain() == R1
+
+    def test_with_predicate(self):
+        assert it.FileScan(R1, equals_const("a", 1)).drain() == [R1[0], R1[2]]
+
+    def test_rows_are_copies(self):
+        out = it.FileScan(R1).drain()
+        out[0]["a"] = 999
+        assert R1[0]["a"] == 1
+
+
+class TestIndexScan:
+    def test_sorted_output(self):
+        out = it.IndexScan(R1, "b")
+        result = out.drain()
+        assert [r["b"] for r in result] == [10, 20, 30]
+        assert it.is_sorted_on(result, "b")
+
+    def test_with_predicate(self):
+        result = it.IndexScan(R1, "a", equals_const("a", 1)).drain()
+        assert len(result) == 2
+        assert it.is_sorted_on(result, "a")
+
+
+class TestFilterProjection:
+    def test_filter(self):
+        result = it.Filter(it.FileScan(R1), equals_const("a", 2)).drain()
+        assert result == [R1[1]]
+
+    def test_filter_none_passes_all(self):
+        assert len(it.Filter(it.FileScan(R1), None).drain()) == 3
+
+    def test_projection(self):
+        result = it.Projection(it.FileScan(R1), ("a",)).drain()
+        assert result == [{"a": 1}, {"a": 2}, {"a": 1}]
+
+    def test_projection_missing_attribute(self):
+        proj = it.Projection(it.FileScan(R1), ("zz",))
+        with pytest.raises(ExecutionError):
+            proj.drain()
+
+
+class TestJoins:
+    def join_pred(self):
+        return equals_attr("b", "c")
+
+    def expected(self):
+        return [
+            {"a": 1, "b": 10, "c": 10, "d": "x"},
+            {"a": 1, "b": 30, "c": 30, "d": "y"},
+        ]
+
+    def test_nested_loops(self):
+        result = it.NestedLoops(
+            it.FileScan(R1), it.FileScan(R2), self.join_pred()
+        ).drain()
+        assert result == self.expected()
+
+    def test_hash_join(self):
+        result = it.HashJoin(
+            it.FileScan(R1), it.FileScan(R2), self.join_pred(), ("a", "b")
+        ).drain()
+        assert sorted(r["b"] for r in result) == [10, 30]
+
+    def test_hash_join_with_residual(self):
+        pred = conjoin(equals_attr("b", "c"), equals_const("d", "y"))
+        result = it.HashJoin(
+            it.FileScan(R1), it.FileScan(R2), pred, ("a", "b")
+        ).drain()
+        assert result == [self.expected()[1]]
+
+    def test_hash_join_needs_equijoin(self):
+        with pytest.raises(ExecutionError):
+            it.HashJoin(it.FileScan(R1), it.FileScan(R2), equals_const("a", 1), ("a", "b"))
+
+    def test_merge_join(self):
+        outer = it.MergeSort(it.FileScan(R1), "b")
+        inner = it.MergeSort(it.FileScan(R2), "c")
+        result = it.MergeJoin(outer, inner, "b", "c", self.join_pred()).drain()
+        assert result == self.expected()
+
+    def test_merge_join_duplicate_keys(self):
+        left = rows({"b": 1}, {"b": 1}, {"b": 2})
+        right = rows({"c": 1}, {"c": 1})
+        result = it.MergeJoin(
+            it.FileScan(left), it.FileScan(right), "b", "c", equals_attr("b", "c")
+        ).drain()
+        assert len(result) == 4  # 2 x 2 matches on key 1
+
+    def test_cross_join_nested_loops(self):
+        result = it.NestedLoops(it.FileScan(R1), it.FileScan(R2), None).drain()
+        assert len(result) == 9
+
+
+class TestPointerJoin:
+    def test_dereference(self):
+        outer = rows({"r": 0}, {"r": 2}, {"r": 0})
+        inner = rows(
+            {"id": 0, "x": "zero"},
+            {"id": 1, "x": "one"},
+            {"id": 2, "x": "two"},
+        )
+        result = it.PointerJoin(
+            it.FileScan(outer), it.FileScan(inner), "r", "id"
+        ).drain()
+        assert [r["x"] for r in result] == ["zero", "two", "zero"]
+
+
+class TestMatDeref:
+    def test_merge_target_attributes(self):
+        child = rows({"r": 1, "a": 5})
+        targets = rows({"t_x": "A"}, {"t_x": "B"})
+        result = it.MatDeref(
+            it.FileScan(child), "r", targets, ("t_x",)
+        ).drain()
+        assert result == [{"r": 1, "a": 5, "t_x": "B"}]
+
+    def test_dangling_reference(self):
+        child = rows({"r": 9})
+        with pytest.raises(ExecutionError):
+            it.MatDeref(it.FileScan(child), "r", [], ()).drain()
+
+
+class TestUnnest:
+    def test_flattening(self):
+        child = rows({"s": (1, 2), "k": "x"}, {"s": (), "k": "y"}, {"s": (3,), "k": "z"})
+        result = it.UnnestScan(it.FileScan(child), "s").drain()
+        assert result == [
+            {"s": 1, "k": "x"},
+            {"s": 2, "k": "x"},
+            {"s": 3, "k": "z"},
+        ]
+
+    def test_empty_sets_produce_nothing(self):
+        child = rows({"s": ()})
+        assert it.UnnestScan(it.FileScan(child), "s").drain() == []
+
+
+class TestMergeSort:
+    def test_sorts(self):
+        result = it.MergeSort(it.FileScan(R1), "b").drain()
+        assert it.is_sorted_on(result, "b")
+
+    def test_is_sorted_on_helper(self):
+        assert it.is_sorted_on([], "x")
+        assert it.is_sorted_on([{"x": 1}, {"x": 1}, {"x": 2}], "x")
+        assert not it.is_sorted_on([{"x": 2}, {"x": 1}], "x")

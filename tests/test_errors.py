@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_prairie_error(self):
+        subclasses = [
+            errors.AlgebraError,
+            errors.DescriptorError,
+            errors.RuleError,
+            errors.RuleSetError,
+            errors.DslError,
+            errors.DslSyntaxError,
+            errors.DslNameError,
+            errors.ActionError,
+            errors.TranslationError,
+            errors.SearchError,
+            errors.NoPlanFoundError,
+            errors.CatalogError,
+            errors.ExecutionError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.PrairieError)
+
+    def test_descriptor_error_is_algebra_error(self):
+        assert issubclass(errors.DescriptorError, errors.AlgebraError)
+
+    def test_no_plan_is_search_error(self):
+        assert issubclass(errors.NoPlanFoundError, errors.SearchError)
+
+    def test_dsl_errors_nest(self):
+        assert issubclass(errors.DslSyntaxError, errors.DslError)
+        assert issubclass(errors.DslNameError, errors.DslError)
+
+
+class TestDslErrorPositions:
+    def test_position_embedded_in_message(self):
+        exc = errors.DslSyntaxError("unexpected token", line=7, column=12)
+        assert exc.line == 7
+        assert exc.column == 12
+        assert "line 7" in str(exc)
+        assert "column 12" in str(exc)
+
+    def test_zero_line_omits_position(self):
+        exc = errors.DslNameError("unknown helper")
+        assert "line" not in str(exc)
+
+    def test_catchable_as_prairie_error(self):
+        with pytest.raises(errors.PrairieError):
+            raise errors.DslSyntaxError("boom", 1, 1)
+
+
+class TestLexerPositionsSurface:
+    def test_parse_error_carries_real_position(self):
+        from repro.prairie.dsl import parse_spec
+
+        source = "property cost : cost;\nproperty bad ;"
+        with pytest.raises(errors.DslSyntaxError) as info:
+            parse_spec(source)
+        assert info.value.line == 2

@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each example's ``main()`` contains its own assertions (plan/oracle
+agreement, sortedness, cost orderings), so "runs without raising" is a
+meaningful check, and we additionally grep for the banner lines that
+prove the interesting branch was reached.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "extend_with_dsl",
+        "pointer_chasing",
+        "quickstart",
+        "search_strategies",
+        "sorted_reports",
+    ]
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Prairie rule set : PrairieRuleSet('oodb'" in out
+    assert "17 trans_rules" in out
+    assert "Best access plan:" in out
+    assert "matches naive evaluation" in out
+
+
+def test_extend_with_dsl(capsys):
+    out = run_example("extend_with_dsl", capsys)
+    assert "Block_nested_loops" in out
+    assert "best cost with" in out
+
+
+def test_pointer_chasing(capsys):
+    out = run_example("pointer_chasing", capsys)
+    assert "Pointer_join" in out
+    assert "Hash_join" in out
+    assert "crossover to pointer join" in out
+    assert "matches naive evaluation" in out
+
+
+def test_sorted_reports(capsys):
+    out = run_example("sorted_reports", capsys)
+    assert "Index_scan" in out
+    assert "Merge_sort" in out
+    assert "verified sorted" in out
+
+
+@pytest.mark.slow
+def test_search_strategies(capsys):
+    out = run_example("search_strategies", capsys)
+    assert "top-down, exhaustive" in out
+    assert "bottom-up (System R style)" in out
+    assert "EXPLAIN" in out

@@ -1,0 +1,179 @@
+"""Unit tests for plan execution and the naive reference evaluator."""
+
+import pytest
+
+from repro.catalog.predicates import equals_attr, equals_const
+from repro.engine.executor import (
+    Database,
+    build_iterator,
+    execute_plan,
+    naive_evaluate,
+    rows_multiset,
+)
+from repro.errors import ExecutionError
+from repro.volcano.search import VolcanoOptimizer
+
+
+class TestDatabase:
+    def test_rows_materialized_for_every_file(self, exec_catalog, exec_db):
+        for info in exec_catalog:
+            assert len(exec_db.rows(info.name)) == info.cardinality
+
+    def test_rid_stripped(self, exec_db):
+        assert all("_rid" not in row for row in exec_db.rows("C1"))
+
+    def test_unknown_file(self, exec_db):
+        with pytest.raises(ExecutionError):
+            exec_db.rows("NOPE")
+
+    def test_deterministic_per_seed(self, exec_catalog):
+        a = Database(exec_catalog, seed=4)
+        b = Database(exec_catalog, seed=4)
+        assert a.rows("C1") == b.rows("C1")
+
+
+class TestNaiveEvaluate:
+    def test_ret_applies_selection(self, exec_builder, exec_db):
+        tree = exec_builder.ret("C1", equals_const("a1", 1))
+        result = naive_evaluate(tree, exec_db)
+        assert all(row["a1"] == 1 for row in result)
+
+    def test_select(self, exec_builder, exec_db):
+        tree = exec_builder.select(exec_builder.ret("C1"), equals_const("a1", 1))
+        assert rows_multiset(naive_evaluate(tree, exec_db)) == rows_multiset(
+            naive_evaluate(exec_builder.ret("C1", equals_const("a1", 1)), exec_db)
+        )
+
+    def test_join(self, exec_builder, exec_db):
+        tree = exec_builder.join(
+            exec_builder.ret("C1"), exec_builder.ret("C2"), equals_attr("b1", "b2")
+        )
+        result = naive_evaluate(tree, exec_db)
+        assert all(row["b1"] == row["b2"] for row in result)
+
+    def test_mat_merges_target_attributes(self, exec_builder, exec_db):
+        tree = exec_builder.mat(exec_builder.ret("C1"), "r1")
+        result = naive_evaluate(tree, exec_db)
+        assert all("t1_x" in row for row in result)
+        assert len(result) == len(exec_db.rows("C1"))
+
+    def test_mat_dereferences_correctly(self, exec_builder, exec_db):
+        tree = exec_builder.mat(exec_builder.ret("C1"), "r1")
+        targets = exec_db.rows("T1")
+        for row in naive_evaluate(tree, exec_db):
+            assert row["t1_x"] == targets[row["r1"]]["t1_x"]
+
+    def test_unnest(self, exec_builder, exec_db):
+        tree = exec_builder.unnest(exec_builder.ret("C1"), "s1")
+        result = naive_evaluate(tree, exec_db)
+        total = sum(len(r["s1"]) for r in exec_db.rows("C1"))
+        assert len(result) == total
+
+    def test_project(self, exec_builder, exec_db):
+        tree = exec_builder.project(exec_builder.ret("C1"), ("a1",))
+        result = naive_evaluate(tree, exec_db)
+        assert all(set(row) == {"a1"} for row in result)
+
+    def test_sort(self, exec_builder, exec_db):
+        from repro.engine.iterators import is_sorted_on
+
+        tree = exec_builder.sort(exec_builder.ret("C1"), "a1")
+        assert is_sorted_on(naive_evaluate(tree, exec_db), "a1")
+
+
+class TestExecutePlan:
+    def optimize(self, ruleset, catalog, tree):
+        return VolcanoOptimizer(ruleset, catalog).optimize(tree).plan
+
+    def test_scan_plan(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        plan = self.optimize(
+            oodb_volcano_generated, exec_catalog, exec_builder.ret("C1")
+        )
+        assert len(execute_plan(plan, exec_db)) == 40
+
+    def test_index_scan_plan_matches_naive(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        tree = exec_builder.ret("C1", equals_const("a1", 1))
+        plan = self.optimize(oodb_volcano_generated, exec_catalog, tree)
+        assert rows_multiset(execute_plan(plan, exec_db)) == rows_multiset(
+            naive_evaluate(tree, exec_db)
+        )
+
+    def test_join_plan_matches_naive(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        tree = exec_builder.join(
+            exec_builder.ret("C1"), exec_builder.ret("C2"), equals_attr("b1", "b2")
+        )
+        plan = self.optimize(oodb_volcano_generated, exec_catalog, tree)
+        assert rows_multiset(execute_plan(plan, exec_db)) == rows_multiset(
+            naive_evaluate(tree, exec_db)
+        )
+
+    def test_mat_plan_matches_naive(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        tree = exec_builder.mat(exec_builder.ret("C1"), "r1")
+        plan = self.optimize(oodb_volcano_generated, exec_catalog, tree)
+        assert rows_multiset(execute_plan(plan, exec_db)) == rows_multiset(
+            naive_evaluate(tree, exec_db)
+        )
+
+    def test_unnest_plan_matches_naive(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        tree = exec_builder.unnest(exec_builder.ret("C2"), "s2")
+        plan = self.optimize(oodb_volcano_generated, exec_catalog, tree)
+        assert rows_multiset(execute_plan(plan, exec_db)) == rows_multiset(
+            naive_evaluate(tree, exec_db)
+        )
+
+    def test_project_plan_matches_naive(
+        self, oodb_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        tree = exec_builder.project(exec_builder.ret("C1"), ("a1", "b1"))
+        plan = self.optimize(oodb_volcano_generated, exec_catalog, tree)
+        assert rows_multiset(execute_plan(plan, exec_db)) == rows_multiset(
+            naive_evaluate(tree, exec_db)
+        )
+
+    def test_sorted_requirement_executes_sorted(
+        self, relational_volcano_generated, exec_catalog, exec_builder, exec_db
+    ):
+        from repro.engine.iterators import is_sorted_on
+
+        tree = exec_builder.ret("C2")
+        result = VolcanoOptimizer(
+            relational_volcano_generated, exec_catalog
+        ).optimize(tree, required=("a2",))
+        rows = execute_plan(result.plan, exec_db)
+        assert is_sorted_on(rows, "a2")
+
+    def test_bare_leaf_executes_as_scan(self, exec_builder, exec_db):
+        leaf = exec_builder.file("C1")
+        assert len(execute_plan(leaf, exec_db)) == 40
+
+    def test_unknown_algorithm_rejected(self, exec_builder, exec_db):
+        from repro.algebra.expressions import Expression
+        from repro.algebra.operations import Algorithm
+
+        plan = Expression(
+            Algorithm.streams("Quantum_join", 1),
+            (exec_builder.file("C1"),),
+            exec_builder.ret("C1").descriptor,
+        )
+        with pytest.raises(ExecutionError):
+            build_iterator(plan, exec_db)
+
+
+class TestRowsMultiset:
+    def test_order_insensitive(self):
+        a = [{"x": 1}, {"x": 2}]
+        b = [{"x": 2}, {"x": 1}]
+        assert rows_multiset(a) == rows_multiset(b)
+
+    def test_multiplicity_sensitive(self):
+        assert rows_multiset([{"x": 1}]) != rows_multiset([{"x": 1}, {"x": 1}])

@@ -1,0 +1,162 @@
+"""Unit tests for operator trees and access plans."""
+
+import pytest
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import (
+    Expression,
+    StoredFileRef,
+    count_nodes,
+    format_tree,
+    interior_nodes,
+    is_access_plan,
+    is_logical,
+    leaves,
+    tree_depth,
+    walk,
+)
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.errors import AlgebraError
+
+SCHEMA = DescriptorSchema([PropertyDef("cost", PropertyType.COST)])
+RET = Operator.on_file("RET")
+JOIN = Operator.streams("JOIN", 2)
+FILE_SCAN = Algorithm.on_file("File_scan")
+HASH_JOIN = Algorithm.streams("Hash_join", 2)
+
+
+def d():
+    return Descriptor(SCHEMA)
+
+
+def leaf(name="R1"):
+    return StoredFileRef(name, d())
+
+
+def ret(name="R1"):
+    return Expression(RET, (leaf(name),), d())
+
+
+def join(left, right):
+    return Expression(JOIN, (left, right), d())
+
+
+class TestConstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(AlgebraError):
+            Expression(JOIN, (ret(),), d())
+
+    def test_file_input_requires_leaf(self):
+        with pytest.raises(AlgebraError):
+            Expression(RET, (ret(),), d())
+
+    def test_stream_input_accepts_expression(self):
+        tree = join(ret("R1"), ret("R2"))
+        assert tree.op is JOIN
+
+    def test_stream_input_accepts_file_leaf(self):
+        # A bare file can feed a stream operator (its tuples stream out).
+        tree = Expression(JOIN, (leaf("R1"), leaf("R2")), d())
+        assert len(tree.inputs) == 2
+
+    def test_str(self):
+        assert str(join(ret("R1"), ret("R2"))) == "JOIN(RET(R1), RET(R2))"
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        tree = join(ret("R1"), ret("R2"))
+        kinds = [
+            node.op.name if isinstance(node, Expression) else node.name
+            for node in walk(tree)
+        ]
+        assert kinds == ["JOIN", "RET", "R1", "RET", "R2"]
+
+    def test_leaves(self):
+        tree = join(ret("R1"), ret("R2"))
+        assert [f.name for f in leaves(tree)] == ["R1", "R2"]
+
+    def test_interior_nodes(self):
+        tree = join(ret("R1"), ret("R2"))
+        assert [n.op.name for n in interior_nodes(tree)] == ["JOIN", "RET", "RET"]
+
+    def test_count_nodes(self):
+        assert count_nodes(join(ret(), ret("R2"))) == 5
+
+    def test_tree_depth(self):
+        assert tree_depth(leaf()) == 1
+        assert tree_depth(ret()) == 2
+        assert tree_depth(join(ret(), ret("R2"))) == 3
+
+
+class TestClassification:
+    def test_logical_tree(self):
+        tree = join(ret("R1"), ret("R2"))
+        assert is_logical(tree)
+        assert not is_access_plan(tree)
+
+    def test_access_plan(self):
+        plan = Expression(
+            HASH_JOIN,
+            (
+                Expression(FILE_SCAN, (leaf("R1"),), d()),
+                Expression(FILE_SCAN, (leaf("R2"),), d()),
+            ),
+            d(),
+        )
+        assert is_access_plan(plan)
+        assert not is_logical(plan)
+
+    def test_mixed_tree_is_neither(self):
+        mixed = Expression(
+            JOIN,
+            (
+                Expression(FILE_SCAN, (leaf("R1"),), d()),
+                ret("R2"),
+            ),
+            d(),
+        )
+        assert not is_access_plan(mixed)
+        assert not is_logical(mixed)
+
+
+class TestUtilities:
+    def test_signature_ignores_descriptors(self):
+        a = join(ret("R1"), ret("R2"))
+        b = join(ret("R1"), ret("R2"))
+        b.descriptor["cost"] = 99.0
+        assert a.signature() == b.signature()
+
+    def test_signature_distinguishes_shape(self):
+        assert join(ret("R1"), ret("R2")).signature() != join(
+            ret("R2"), ret("R1")
+        ).signature()
+
+    def test_with_inputs(self):
+        tree = join(ret("R1"), ret("R2"))
+        swapped = tree.with_inputs((tree.inputs[1], tree.inputs[0]))
+        assert [f.name for f in leaves(swapped)] == ["R2", "R1"]
+
+    def test_copy_tree_is_deep(self):
+        tree = join(ret("R1"), ret("R2"))
+        clone = tree.copy_tree()
+        clone.descriptor["cost"] = 1.0
+        assert tree.descriptor["cost"] != 1.0
+        inner = clone.inputs[0]
+        assert isinstance(inner, Expression)
+        inner.descriptor["cost"] = 2.0
+        first = tree.inputs[0]
+        assert isinstance(first, Expression)
+        assert first.descriptor["cost"] != 2.0
+
+    def test_format_tree(self):
+        text = format_tree(join(ret("R1"), ret("R2")))
+        lines = text.splitlines()
+        assert lines[0] == "JOIN"
+        assert lines[1] == "  RET"
+        assert lines[2] == "    R1"
+
+    def test_format_tree_with_annotation(self):
+        text = format_tree(ret("R1"), annotate=lambda n: "!")
+        assert "RET  !" in text

@@ -1,0 +1,214 @@
+"""Failure injection: misbehaving rules and helpers must fail loudly.
+
+The engine executes user-supplied rule code; this module verifies that
+failures surface as the right exception types with useful context,
+rather than silently corrupting the search.
+"""
+
+import pytest
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DONT_CARE
+from repro.catalog.schema import Catalog, StoredFileInfo
+from repro.errors import ActionError, TranslationError
+from repro.optimizers.helpers import domain_helpers
+from repro.prairie.build import (
+    assign,
+    block,
+    call,
+    copy_desc,
+    lit,
+    node,
+    prop,
+    var,
+)
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+from repro.prairie.translate import translate
+from repro.optimizers.schema import make_schema
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.trees import TreeBuilder
+
+
+def minimal_ruleset(post_opt_cost=None, helper_registry=None, test_expr=None):
+    """A RET-only rule set whose scan rule can be sabotaged."""
+    ruleset = PrairieRuleSet(
+        "inject", make_schema(), helpers=helper_registry or domain_helpers()
+    )
+    ruleset.declare_operator(Operator.on_file("RET"))
+    ruleset.declare_algorithm(Algorithm.on_file("File_scan"))
+    kwargs = {}
+    if test_expr is not None:
+        kwargs["test"] = test_expr
+    ruleset.add_irule(
+        IRule(
+            name="ret_file_scan",
+            lhs=node("RET", var("F", "DF"), desc="D1"),
+            rhs=node("File_scan", var("F"), desc="D2"),
+            pre_opt=block(copy_desc("D2", "D1")),
+            post_opt=block(
+                post_opt_cost
+                if post_opt_cost is not None
+                else assign("D2", "cost", call("scan_cost", prop("D1", "file_name")))
+            ),
+            **kwargs,
+        )
+    )
+    return ruleset
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog([StoredFileInfo("F", ("a",), 100, 100)])
+
+
+def optimize(ruleset, catalog):
+    volcano = translate(ruleset).volcano
+    builder = TreeBuilder(volcano.schema, catalog)
+    return VolcanoOptimizer(volcano, catalog).optimize(builder.ret("F"))
+
+
+class TestRaisingHelpers:
+    def test_helper_exception_wrapped_in_action_error(self, catalog):
+        helpers = domain_helpers()
+        helpers.register("explode", lambda: 1 / 0)
+        ruleset = minimal_ruleset(
+            post_opt_cost=assign("D2", "cost", call("explode")),
+            helper_registry=helpers,
+        )
+        with pytest.raises(ZeroDivisionError):
+            # compiled rules call the helper directly; the failure must
+            # propagate, not be swallowed into a bogus plan
+            optimize(ruleset, catalog)
+
+    def test_interpreted_helper_exception_wrapped(self, catalog):
+        """The tree-walking interpreter wraps helper errors as ActionError."""
+        from repro.algebra.descriptors import Descriptor
+        from repro.prairie.actions import ActionEnv, Call
+
+        helpers = domain_helpers()
+        helpers.register("explode", lambda: 1 / 0)
+        env = ActionEnv({}, helpers)
+        with pytest.raises(ActionError, match="explode"):
+            env.eval(Call("explode", ()))
+
+
+class TestMissingCost:
+    def test_post_opt_without_cost_assignment_rejected(self, catalog):
+        # a post-opt that assigns something else but never the cost
+        ruleset = minimal_ruleset(
+            post_opt_cost=assign("D2", "num_records", lit(1.0))
+        )
+        with pytest.raises(TranslationError, match="numeric 'cost'"):
+            optimize(ruleset, catalog)
+
+
+class TestMisbehavedTests:
+    def test_rule_test_returning_nonbool_is_coerced(self, catalog):
+        from repro.prairie.build import test as make_test
+
+        # a "test" that evaluates to a number: truthiness applies
+        ruleset = minimal_ruleset(test_expr=make_test(lit(1)))
+        result = optimize(ruleset, catalog)
+        assert result.plan.op.name == "File_scan"
+
+    def test_rule_test_false_means_no_plan(self, catalog):
+        from repro.errors import NoPlanFoundError
+        from repro.prairie.build import test as make_test
+
+        ruleset = minimal_ruleset(test_expr=make_test(lit(False)))
+        with pytest.raises(NoPlanFoundError):
+            optimize(ruleset, catalog)
+
+
+class TestTransRuleFailures:
+    def test_trans_rule_action_error_propagates(self, catalog):
+        """A trans rule reading an unset DONT_CARE in arithmetic fails
+        loudly (compiled code raises TypeError on DONT_CARE arithmetic)."""
+        ruleset = minimal_ruleset()
+        ruleset.declare_operator(Operator.streams("DUP", 1))
+        ruleset.declare_algorithm(Algorithm.streams("Copy", 1))
+        ruleset.add_trule(
+            TRule(
+                name="broken",
+                lhs=node("DUP", var("S1", "DA"), desc="D1"),
+                rhs=node("DUP", node("DUP", var("S1"), desc="D2"), desc="D3"),
+                post_test=block(
+                    # cost is DONT_CARE on a logical descriptor: arithmetic
+                    # on it must raise, not produce garbage
+                    assign("D2", "num_records", prop("DA", "cost")),
+                    assign(
+                        "D3",
+                        "num_records",
+                        call("round_est", prop("DA", "cost")),
+                    ),
+                ),
+            )
+        )
+        ruleset.add_irule(
+            IRule(
+                name="dup_copy",
+                lhs=node("DUP", var("S1", "D1"), desc="D2"),
+                rhs=node("Copy", var("S1"), desc="D3"),
+                pre_opt=block(copy_desc("D3", "D2")),
+                post_opt=block(assign("D3", "cost", prop("D1", "cost"))),
+            )
+        )
+        volcano = translate(ruleset).volcano
+        builder = TreeBuilder(volcano.schema, catalog)
+        from repro.algebra.expressions import Expression
+        from repro.algebra.operations import Operator as Op
+
+        tree = Expression(
+            Op.streams("DUP", 1), (builder.ret("F"),), builder.ret("F").descriptor.copy()
+        )
+        with pytest.raises(Exception):  # noqa: B017 - any loud failure is correct
+            VolcanoOptimizer(volcano, catalog).optimize(tree)
+
+
+class TestEngineEdgeCases:
+    def test_file_group_with_requirement_uses_enforcer_path(
+        self, schema, relational_volcano_generated
+    ):
+        """A bare stored file asked for an order: only the enforcer can
+        deliver (sorting the raw file stream)."""
+        from repro.workloads.catalogs import make_experiment_catalog
+
+        catalog = make_experiment_catalog(1, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        leaf = builder.file("C1")
+        result = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            leaf, required=("a1",)
+        )
+        assert result.plan.op.name == "Merge_sort"
+
+    def test_no_plan_cached_and_rechecked(
+        self, schema, relational_volcano_generated
+    ):
+        """A failed requirement is cached (NO_PLAN) and the second ask
+        fails identically instead of corrupting the cache."""
+        from repro.errors import NoPlanFoundError
+        from repro.workloads.catalogs import make_experiment_catalog
+
+        catalog = make_experiment_catalog(1, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        optimizer = VolcanoOptimizer(relational_volcano_generated, catalog)
+        for _ in range(2):
+            with pytest.raises(NoPlanFoundError):
+                optimizer.optimize(builder.ret("C1"), required=("nope",))
+
+    def test_mixed_requirements_independent(
+        self, schema, relational_volcano_generated
+    ):
+        """Winner caches are per-vector: a failed vector does not poison
+        a satisfiable one on the same tree."""
+        from repro.errors import NoPlanFoundError
+        from repro.workloads.catalogs import make_experiment_catalog
+
+        catalog = make_experiment_catalog(1, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        optimizer = VolcanoOptimizer(relational_volcano_generated, catalog)
+        with pytest.raises(NoPlanFoundError):
+            optimizer.optimize(builder.ret("C1"), required=("nope",))
+        good = optimizer.optimize(builder.ret("C1"), required=("a1",))
+        assert good.plan.descriptor["tuple_order"] == "a1"

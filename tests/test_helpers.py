@@ -1,0 +1,291 @@
+"""Unit tests for helper registries and the domain helpers."""
+
+import math
+
+import pytest
+
+from repro.algebra.properties import DONT_CARE
+from repro.catalog.predicates import (
+    TRUE,
+    conjuncts,
+    equals_attr,
+    equals_const,
+    conjoin,
+)
+from repro.catalog.schema import Catalog, IndexInfo, StoredFileInfo
+from repro.errors import ActionError, RuleSetError
+from repro.optimizers import helpers as H
+from repro.prairie.helpers import (
+    HelperRegistry,
+    cardinality,
+    default_helpers,
+    difference,
+    intersect,
+    union,
+)
+
+
+class _Ctx:
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+
+@pytest.fixture()
+def ctx():
+    catalog = Catalog(
+        [
+            StoredFileInfo(
+                "C1",
+                ("a1", "b1", "r1"),
+                1000,
+                100,
+                indices=(IndexInfo("a1"),),
+                reference_attrs=(("r1", "T1"),),
+            ),
+            StoredFileInfo("C2", ("a2", "b2"), 500, 100),
+            StoredFileInfo(
+                "T1", ("t1_id", "t1_x"), 200, 80, identity_attr="t1_id"
+            ),
+        ]
+    )
+    return _Ctx(catalog)
+
+
+class TestRegistry:
+    def test_register_and_call_pure(self):
+        registry = HelperRegistry()
+        registry.register("double", lambda x: 2 * x)
+        assert registry.call("double", None, [4]) == 8
+
+    def test_register_and_call_contextual(self):
+        registry = HelperRegistry()
+        registry.register("with_ctx", lambda ctx, x: (ctx, x), pure=False)
+        assert registry.call("with_ctx", "CTX", [1]) == ("CTX", 1)
+
+    def test_duplicate_rejected(self):
+        registry = HelperRegistry()
+        registry.register("f", lambda: None)
+        with pytest.raises(RuleSetError):
+            registry.register("f", lambda: None)
+
+    def test_unknown_helper(self):
+        with pytest.raises(ActionError):
+            HelperRegistry().call("nope", None, [])
+
+    def test_helper_exception_wrapped(self):
+        registry = HelperRegistry()
+        registry.register("boom", lambda: 1 / 0)
+        with pytest.raises(ActionError):
+            registry.call("boom", None, [])
+
+    def test_is_pure(self):
+        registry = HelperRegistry()
+        registry.register("p", lambda: 1)
+        registry.register("c", lambda ctx: 1, pure=False)
+        assert registry.is_pure("p")
+        assert not registry.is_pure("c")
+        with pytest.raises(ActionError):
+            registry.is_pure("missing")
+
+    def test_get_function(self):
+        fn = lambda: 1  # noqa: E731
+        registry = HelperRegistry()
+        registry.register("p", fn)
+        assert registry.get_function("p") is fn
+
+    def test_decorators(self):
+        registry = HelperRegistry()
+
+        @registry.pure("inc")
+        def inc(x):
+            return x + 1
+
+        @registry.contextual("ctx_inc")
+        def ctx_inc(ctx, x):
+            return x + ctx
+
+        assert registry.call("inc", None, [1]) == 2
+        assert registry.call("ctx_inc", 10, [1]) == 11
+
+    def test_copy_independent(self):
+        registry = HelperRegistry()
+        registry.register("f", lambda: 1)
+        clone = registry.copy()
+        clone.register("g", lambda: 2)
+        assert "g" not in registry
+
+    def test_merged_with(self):
+        a = HelperRegistry()
+        a.register("f", lambda: 1)
+        b = HelperRegistry()
+        b.register("g", lambda: 2)
+        merged = a.merged_with(b)
+        assert "f" in merged and "g" in merged
+
+    def test_names_sorted(self):
+        registry = HelperRegistry()
+        registry.register("zz", lambda: 1)
+        registry.register("aa", lambda: 2)
+        assert registry.names == ("aa", "zz")
+
+
+class TestBuiltins:
+    def test_union_order_preserving(self):
+        assert union(("b", "a"), ("a", "c")) == ("b", "a", "c")
+
+    def test_union_handles_dont_care(self):
+        assert union(DONT_CARE, ("a",)) == ("a",)
+
+    def test_union_scalar_promoted(self):
+        assert union("x", ("y",)) == ("x", "y")
+
+    def test_intersect(self):
+        assert intersect(("a", "b", "c"), ("c", "a")) == ("a", "c")
+
+    def test_difference(self):
+        assert difference(("a", "b", "c"), ("b",)) == ("a", "c")
+
+    def test_cardinality(self):
+        assert cardinality(("a", "b")) == 2
+        assert cardinality(DONT_CARE) == 0
+
+    def test_default_registry_contents(self):
+        registry = default_helpers()
+        for name in ("union", "log", "log2", "min", "max", "contains"):
+            assert name in registry
+
+    def test_safe_logs_clamped(self):
+        registry = default_helpers()
+        assert registry.call("log", None, [0]) == 0.0
+        assert registry.call("log2", None, [0.5]) == 0.0
+        assert registry.call("log2", None, [8]) == 3.0
+
+
+class TestPredicateHelpers:
+    def test_conjoin_preds_canonical_order(self):
+        a = H.conjoin_preds(equals_const("b", 2), equals_const("a", 1))
+        b = H.conjoin_preds(equals_const("a", 1), equals_const("b", 2))
+        assert a == b
+
+    def test_conjoin_preds_dont_care(self):
+        assert H.conjoin_preds(DONT_CARE, DONT_CARE) == TRUE
+
+    def test_pred_within_remainder_partition(self):
+        pred = conjoin(equals_const("a", 1), equals_attr("a", "b"))
+        inside = H.pred_within(pred, ("a",))
+        outside = H.pred_remainder(pred, ("a",))
+        assert set(conjuncts(inside)) | set(conjuncts(outside)) == set(
+            conjuncts(pred)
+        )
+        assert not set(conjuncts(inside)) & set(conjuncts(outside))
+
+    def test_pred_nonempty(self):
+        assert H.pred_nonempty(equals_const("a", 1))
+        assert not H.pred_nonempty(TRUE)
+        assert not H.pred_nonempty(DONT_CARE)
+
+    def test_pred_mentions(self):
+        assert H.pred_mentions(equals_attr("a", "b"), "a")
+        assert not H.pred_mentions(equals_attr("a", "b"), "c")
+
+    def test_pred_conjunct_count(self):
+        assert H.pred_conjunct_count(DONT_CARE) == 0
+        assert H.pred_conjunct_count(equals_const("a", 1)) == 1
+        assert (
+            H.pred_conjunct_count(conjoin(equals_const("a", 1), equals_const("b", 2)))
+            == 2
+        )
+
+    def test_pred_first_rest_cover(self):
+        pred = conjoin(equals_const("b", 2), equals_const("a", 1))
+        first = H.pred_first(pred)
+        rest = H.pred_rest(pred)
+        combined = H.conjoin_preds(first, rest)
+        assert set(conjuncts(combined)) == set(conjuncts(pred))
+
+    def test_pred_first_of_empty_is_true(self):
+        assert H.pred_first(DONT_CARE) == TRUE
+        assert H.pred_rest(equals_const("a", 1)) == TRUE
+
+    def test_has_equijoin(self):
+        assert H.has_equijoin(equals_attr("a", "b"))
+        assert not H.has_equijoin(equals_const("a", 1))
+
+    def test_sort_attr_picks_side_in_attrs(self):
+        pred = equals_attr("a", "b")
+        assert H.sort_attr(pred, ("a", "x")) == "a"
+        assert H.sort_attr(pred, ("b", "y")) == "b"
+        assert H.sort_attr(pred, ("z",)) is DONT_CARE
+
+    def test_sort_attr_dont_care_attrs(self):
+        assert H.sort_attr(equals_attr("a", "b"), DONT_CARE) is DONT_CARE
+
+
+class TestContextualHelpers:
+    def test_join_card_rounds(self, ctx):
+        # selectivity = 1 / max(distinct(a1)=100, distinct(a2)=50) = 1/100
+        value = H.join_card(ctx, 1000.0, 500.0, equals_attr("a1", "a2"))
+        assert value == pytest.approx(5000.0)
+
+    def test_filter_card(self, ctx):
+        assert H.filter_card(ctx, 1000.0, equals_const("a1", 1)) == pytest.approx(
+            10.0
+        )
+
+    def test_scan_cost_positive(self, ctx):
+        assert H.scan_cost(ctx, "C1") > 0
+
+    def test_has_usable_index(self, ctx):
+        assert H.has_usable_index(ctx, "C1", equals_const("a1", 1))
+        assert not H.has_usable_index(ctx, "C1", equals_const("b1", 1))
+        assert not H.has_usable_index(ctx, "C2", equals_const("a2", 1))
+
+    def test_index_order(self, ctx):
+        assert H.index_order(ctx, "C1", equals_const("a1", 1)) == "a1"
+        assert H.index_order(ctx, "C1", equals_const("b1", 1)) is DONT_CARE
+
+    def test_index_scan_cost_cheaper_when_selective(self, ctx):
+        selective = H.index_scan_cost(ctx, "C1", equals_const("a1", 1))
+        full = H.full_index_scan_cost(ctx, "C1")
+        assert selective < full
+
+    def test_has_any_index(self, ctx):
+        assert H.has_any_index(ctx, "C1")
+        assert not H.has_any_index(ctx, "C2")
+
+    def test_any_index_order(self, ctx):
+        assert H.any_index_order(ctx, "C1") == "a1"
+        assert H.any_index_order(ctx, "C2") is DONT_CARE
+
+    def test_mat_attrs(self, ctx):
+        assert H.mat_attrs(ctx, "r1") == ("t1_id", "t1_x")
+        assert H.mat_attrs(ctx, "a1") == ()
+
+    def test_mat_size(self, ctx):
+        assert H.mat_size(ctx, "r1") == 80.0
+        assert H.mat_size(ctx, "a1") == 0.0
+
+    def test_is_reference_attr(self, ctx):
+        assert H.is_reference_attr(ctx, "r1")
+        assert not H.is_reference_attr(ctx, "a1")
+        assert not H.is_reference_attr(ctx, DONT_CARE)
+
+    def test_is_pointer_joinable(self, ctx):
+        pred = equals_attr("r1", "t1_id")
+        assert H.is_pointer_joinable(ctx, pred, ("r1", "a1"), ("t1_id", "t1_x"))
+        # Reversed attr order in the comparison still detected.
+        pred2 = equals_attr("t1_id", "r1")
+        assert H.is_pointer_joinable(ctx, pred2, ("r1",), ("t1_id",))
+        # A value join is not pointer-joinable.
+        assert not H.is_pointer_joinable(
+            ctx, equals_attr("b1", "b2"), ("b1",), ("b2",)
+        )
+
+    def test_unnest_card(self):
+        assert H.unnest_card(10) == 20.0
+
+    def test_owner_of_attr(self, ctx):
+        assert H.owner_of_attr(ctx, "a2") == "C2"
+
+    def test_round_est(self):
+        assert H.round_est(1234567.89) == 1234570.0

@@ -1,0 +1,143 @@
+"""Unit tests for the memo table (equivalence classes)."""
+
+import pytest
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.operations import Operator
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.errors import SearchError
+from repro.volcano.memo import Memo, MExpr
+
+SCHEMA = DescriptorSchema(
+    [
+        PropertyDef("join_predicate", PropertyType.PREDICATE),
+        PropertyDef("num_records", PropertyType.FLOAT),
+        PropertyDef("tuple_order", PropertyType.ORDER),
+        PropertyDef("cost", PropertyType.COST),
+    ]
+)
+ARGS = ("join_predicate", "num_records")
+RET = Operator.on_file("RET")
+JOIN = Operator.streams("JOIN", 2)
+
+
+def d(**values):
+    return Descriptor(SCHEMA, values)
+
+
+def make_memo():
+    return Memo(ARGS)
+
+
+class TestInsertion:
+    def test_file_leaves_interned(self):
+        memo = make_memo()
+        a = memo.add_file(StoredFileRef("R1", d()))
+        b = memo.add_file(StoredFileRef("R1", d()))
+        assert a is b
+        assert memo.group_count == 1
+
+    def test_distinct_files_distinct_groups(self):
+        memo = make_memo()
+        memo.add_file(StoredFileRef("R1", d()))
+        memo.add_file(StoredFileRef("R2", d()))
+        assert memo.group_count == 2
+
+    def test_new_mexpr_gets_new_group(self):
+        memo = make_memo()
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        mexpr, created = memo.insert(
+            MExpr("RET", (leaf.group_id,), d(num_records=5.0))
+        )
+        assert created
+        assert memo.group_count == 2
+        assert mexpr.group_id == 1
+
+    def test_duplicate_mexpr_deduplicated(self):
+        memo = make_memo()
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        first, _ = memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=5.0)))
+        second, created = memo.insert(
+            MExpr("RET", (leaf.group_id,), d(num_records=5.0))
+        )
+        assert not created
+        assert second is first
+
+    def test_different_argument_property_not_duplicate(self):
+        memo = make_memo()
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=5.0)))
+        _, created = memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=6.0)))
+        assert created
+
+    def test_non_argument_property_ignored_for_identity(self):
+        memo = make_memo()
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=5.0, cost=1.0)))
+        _, created = memo.insert(
+            MExpr("RET", (leaf.group_id,), d(num_records=5.0, cost=99.0))
+        )
+        assert not created
+
+    def test_insert_into_existing_group(self):
+        memo = make_memo()
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        first, _ = memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=5.0)))
+        group = memo.group(first.group_id)
+        memo.insert(
+            MExpr("RET", (leaf.group_id,), d(num_records=6.0)),
+            group_id=group.gid,
+        )
+        assert len(group) == 2
+
+    def test_group_lookup_error(self):
+        with pytest.raises(SearchError):
+            make_memo().group(5)
+
+
+class TestFromExpression:
+    def tree(self):
+        r1 = Expression(RET, (StoredFileRef("R1", d()),), d(num_records=10.0))
+        r2 = Expression(RET, (StoredFileRef("R2", d()),), d(num_records=20.0))
+        return Expression(JOIN, (r1, r2), d(num_records=30.0))
+
+    def test_group_structure(self):
+        memo = make_memo()
+        root = memo.from_expression(self.tree())
+        # R1, R2, RET(R1), RET(R2), JOIN = 5 groups
+        assert memo.group_count == 5
+        assert len(root) == 1
+        assert root.mexprs[0].op_name == "JOIN"
+
+    def test_logical_descriptor_from_first_member(self):
+        memo = make_memo()
+        root = memo.from_expression(self.tree())
+        assert root.logical_descriptor["num_records"] == 30.0
+
+    def test_shared_subtrees_share_groups(self):
+        memo = make_memo()
+        r1a = Expression(RET, (StoredFileRef("R1", d()),), d(num_records=10.0))
+        r1b = Expression(RET, (StoredFileRef("R1", d()),), d(num_records=10.0))
+        tree = Expression(JOIN, (r1a, r1b), d(num_records=7.0))
+        memo.from_expression(tree)
+        # R1, RET(R1) shared, JOIN: 3 groups
+        assert memo.group_count == 3
+
+    def test_stats(self):
+        memo = make_memo()
+        memo.from_expression(self.tree())
+        assert memo.stats() == {"groups": 5, "mexprs": 5}
+
+    def test_str_rendering(self):
+        memo = make_memo()
+        memo.from_expression(self.tree())
+        text = str(memo)
+        assert "g0:" in text
+        assert "JOIN" in text
+
+    def test_file_group_flag(self):
+        memo = make_memo()
+        root = memo.from_expression(self.tree())
+        assert not root.is_file_group
+        assert memo.group(0).is_file_group

@@ -1,0 +1,346 @@
+"""Unit tests for P2V rule merging (paper Section 3.3).
+
+The centerpiece is the paper's own example: the T-rule
+``JOIN ⇒ JOPR(SORT(·), SORT(·))`` plus the I-rule ``JOPR ⇒ Nested_loops``
+must merge into the single compact I-rule ``JOIN ⇒ Nested_loops`` with
+the sortedness requirement folded into its pre-opt section.
+"""
+
+import pytest
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.patterns import PatternVar, pattern_operations
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.errors import TranslationError
+from repro.prairie.actions import AssignProp, TestExpr as ActionTest
+from repro.prairie.analysis import analyse
+from repro.prairie.build import (
+    assign,
+    block,
+    copy_desc,
+    lit,
+    ne,
+    node,
+    prop,
+    test as make_test,
+    var,
+)
+from repro.prairie.merge import delete_enforcer_nodes, merge_rules
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+def make_schema():
+    return DescriptorSchema(
+        [
+            PropertyDef("tuple_order", PropertyType.ORDER),
+            PropertyDef("attributes", PropertyType.ATTRS),
+            PropertyDef("cost", PropertyType.COST),
+        ]
+    )
+
+
+def sort_rules():
+    merge_sort = IRule(
+        name="sort_ms",
+        lhs=node("SORT", var("S1", "D1"), desc="D2"),
+        rhs=node("Merge_sort", var("S1"), desc="D3"),
+        test=make_test(ne(prop("D2", "tuple_order"), lit(None))),
+        pre_opt=block(copy_desc("D3", "D2")),
+        post_opt=block(assign("D3", "cost", prop("D1", "cost"))),
+    )
+    null = IRule(
+        name="sort_null",
+        lhs=node("SORT", var("S1", "D1"), desc="D2"),
+        rhs=node("Null", var("S1", "D3"), desc="D4"),
+        pre_opt=block(
+            copy_desc("D4", "D2"),
+            copy_desc("D3", "D1"),
+            assign("D3", "tuple_order", prop("D2", "tuple_order")),
+        ),
+        post_opt=block(assign("D4", "cost", prop("D3", "cost"))),
+    )
+    return merge_sort, null
+
+
+def paper_example_ruleset() -> PrairieRuleSet:
+    """The JOIN/JOPR/SORT configuration of paper Section 3.3."""
+    rs = PrairieRuleSet("jopr", make_schema())
+    rs.declare_operator(Operator.streams("JOIN", 2))
+    rs.declare_operator(Operator.streams("JOPR", 2))
+    rs.declare_operator(Operator.streams("SORT", 1))
+    rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+    rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+
+    rs.add_trule(
+        TRule(
+            name="join_to_jopr",
+            lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D3"),
+            rhs=node(
+                "JOPR",
+                node("SORT", var("S1"), desc="D4"),
+                node("SORT", var("S2"), desc="D5"),
+                desc="D6",
+            ),
+            post_test=block(
+                copy_desc("D6", "D3"),
+                copy_desc("D4", "DL1"),
+                copy_desc("D5", "DL2"),
+                assign("D4", "tuple_order", prop("D3", "tuple_order")),
+                assign("D5", "tuple_order", prop("D3", "tuple_order")),
+            ),
+        )
+    )
+    rs.add_irule(
+        IRule(
+            name="jopr_nl",
+            lhs=node("JOPR", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Nested_loops", var("S1"), var("S2"), desc="D5"),
+            pre_opt=block(copy_desc("D5", "D3")),
+            post_opt=block(assign("D5", "cost", prop("D1", "cost"))),
+        )
+    )
+    merge_sort, null = sort_rules()
+    rs.add_irule(merge_sort)
+    rs.add_irule(null)
+    rs.validate()
+    return rs
+
+
+class TestDeleteEnforcerNodes:
+    def test_splice_single_node(self):
+        pattern = node("JOPR", node("SORT", var("S1"), desc="D4"), var("S2"), desc="D6")
+        spliced, orphans = delete_enforcer_nodes(pattern, frozenset({"SORT"}))
+        assert pattern_operations(spliced) == ("JOPR",)
+        assert orphans == {"D4": "S1"}
+
+    def test_splice_nested_node_orphan_has_no_var(self):
+        pattern = node(
+            "MAT", node("SORT", node("RET", var("F"), desc="DR"), desc="DS"), desc="DM"
+        )
+        spliced, orphans = delete_enforcer_nodes(pattern, frozenset({"SORT"}))
+        assert pattern_operations(spliced) == ("MAT", "RET")
+        assert orphans == {"DS": None}
+
+    def test_no_enforcers_is_identity(self):
+        pattern = node("JOIN", var("S1"), var("S2"), desc="D1")
+        spliced, orphans = delete_enforcer_nodes(pattern, frozenset({"SORT"}))
+        assert spliced == pattern
+        assert orphans == {}
+
+    def test_root_reduction_to_variable(self):
+        pattern = node("SORT", var("S1"), desc="D1")
+        spliced, orphans = delete_enforcer_nodes(pattern, frozenset({"SORT"}))
+        assert isinstance(spliced, PatternVar)
+
+    def test_enforcer_with_wrong_arity_rejected(self):
+        pattern = node("SORT", var("S1"), var("S2"), desc="D1")
+        with pytest.raises(TranslationError):
+            delete_enforcer_nodes(pattern, frozenset({"SORT"}))
+
+
+class TestPaperExample:
+    def merged(self):
+        rs = paper_example_ruleset()
+        return merge_rules(rs, analyse(rs))
+
+    def test_renaming_rule_deleted(self):
+        merged = self.merged()
+        assert merged.report.deleted_renaming_rules == ["join_to_jopr"]
+        assert merged.t_rules == []
+
+    def test_operator_alias_recorded(self):
+        merged = self.merged()
+        assert merged.report.operator_aliases == {"JOPR": "JOIN"}
+
+    def test_compact_i_rule_produced(self):
+        merged = self.merged()
+        assert len(merged.i_rules) == 1
+        rule = merged.i_rules[0]
+        assert rule.operator_name == "JOIN"
+        assert rule.algorithm_name == "Nested_loops"
+
+    def test_requirements_folded_into_pre_opt(self):
+        rule = self.merged().i_rules[0]
+        # Both inputs gained synthesized requirement descriptors whose
+        # tuple_order is assigned from the operator descriptor — the
+        # compact form of paper I-rule (5).
+        req0 = rule.rhs_input_descriptor(0)
+        req1 = rule.rhs_input_descriptor(1)
+        assert req0 is not None and req1 is not None
+        writes = rule.pre_opt.property_writes()
+        assert (req0, "tuple_order") in writes
+        assert (req1, "tuple_order") in writes
+
+    def test_folded_expressions_renamed_to_i_rule_descriptors(self):
+        rule = self.merged().i_rules[0]
+        first = rule.pre_opt.statements[0]
+        assert isinstance(first, AssignProp)
+        # reads the I-rule's operator descriptor (D3), not the T-rule's D6
+        assert first.expr.desc == "D3"  # type: ignore[union-attr]
+
+    def test_enforcer_rules_separated(self):
+        merged = self.merged()
+        assert [r.name for r in merged.enforcer_i_rules] == ["sort_ms"]
+        assert [r.name for r in merged.null_i_rules] == ["sort_null"]
+
+    def test_merged_i_rule_count_arithmetic(self):
+        # paper: #I-rules = #impl_rules + #enforcers + #null rules
+        rs = paper_example_ruleset()
+        merged = merge_rules(rs, analyse(rs))
+        assert len(rs.i_rules) == (
+            len(merged.i_rules)
+            + len(merged.enforcer_i_rules)
+            + len(merged.null_i_rules)
+        )
+
+
+class TestIdentityRules:
+    def test_sort_introduction_rule_deleted(self):
+        rs = PrairieRuleSet("ident", make_schema())
+        rs.declare_operator(Operator.streams("JOIN", 2))
+        rs.declare_operator(Operator.streams("SORT", 1))
+        rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+        rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+        rs.add_trule(
+            TRule(
+                name="sort_after_join",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("SORT", node("JOIN", var("S1"), var("S2"), desc="D2"), desc="D3"),
+                post_test=block(copy_desc("D2", "D1"), copy_desc("D3", "D1")),
+            )
+        )
+        rs.add_irule(
+            IRule(
+                name="join_nl",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+            )
+        )
+        merge_sort, null = sort_rules()
+        rs.add_irule(merge_sort)
+        rs.add_irule(null)
+        merged = merge_rules(rs, analyse(rs))
+        assert merged.report.deleted_identity_rules == ["sort_after_join"]
+        assert merged.t_rules == []
+        assert merged.report.operator_aliases == {}
+
+
+class TestGeneralSplice:
+    def make_ruleset_with_mixed_rule(self):
+        rs = PrairieRuleSet("mixed", make_schema())
+        rs.declare_operator(Operator.streams("JOIN", 2))
+        rs.declare_operator(Operator.streams("SORT", 1))
+        rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+        rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+        # A commuting rule that also introduces a SORT: after splicing it
+        # is NOT an identity (inputs swapped), so it must be kept.
+        rs.add_trule(
+            TRule(
+                name="commute_sorted",
+                lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D1"),
+                rhs=node(
+                    "JOIN", var("S2"), node("SORT", var("S1"), desc="DS"), desc="D2"
+                ),
+                post_test=block(
+                    copy_desc("D2", "D1"),
+                    copy_desc("DS", "DL1"),
+                    assign("DS", "tuple_order", prop("D1", "tuple_order")),
+                ),
+            )
+        )
+        rs.add_irule(
+            IRule(
+                name="join_nl",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+            )
+        )
+        merge_sort, null = sort_rules()
+        rs.add_irule(merge_sort)
+        rs.add_irule(null)
+        return rs
+
+    def test_spliced_rule_kept_with_requirements_dropped(self):
+        rs = self.make_ruleset_with_mixed_rule()
+        merged = merge_rules(rs, analyse(rs))
+        assert merged.report.modified_t_rules == ["commute_sorted"]
+        assert len(merged.t_rules) == 1
+        kept = merged.t_rules[0]
+        assert pattern_operations(kept.rhs) == ("JOIN",)
+        assert merged.report.dropped_requirements  # the DS.tuple_order write
+
+    def test_statement_reading_orphan_rejected(self):
+        rs = PrairieRuleSet("bad", make_schema())
+        rs.declare_operator(Operator.streams("JOIN", 2))
+        rs.declare_operator(Operator.streams("SORT", 1))
+        rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+        rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+        rs.add_trule(
+            TRule(
+                name="reads_orphan",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node(
+                    "JOIN", var("S2"), node("SORT", var("S1"), desc="DS"), desc="D2"
+                ),
+                post_test=block(
+                    assign("DS", "tuple_order", lit("x")),
+                    assign("D2", "tuple_order", prop("DS", "tuple_order")),
+                ),
+            )
+        )
+        rs.add_irule(
+            IRule(
+                name="join_nl",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+            )
+        )
+        merge_sort, null = sort_rules()
+        rs.add_irule(merge_sort)
+        rs.add_irule(null)
+        with pytest.raises(TranslationError):
+            merge_rules(rs, analyse(rs))
+
+    def test_report_lines_readable(self):
+        rs = self.make_ruleset_with_mixed_rule()
+        merged = merge_rules(rs, analyse(rs))
+        lines = merged.report.lines()
+        assert any("commute_sorted" in line for line in lines)
+
+    def test_conflicting_aliases_rejected(self):
+        """One auxiliary operator cannot collapse onto two different
+        operators — P2V must refuse rather than pick one."""
+        rs = PrairieRuleSet("conflict", make_schema())
+        rs.declare_operator(Operator.streams("JOIN", 2))
+        rs.declare_operator(Operator.streams("UNION", 2))
+        rs.declare_operator(Operator.streams("AUX", 2))
+        rs.declare_operator(Operator.streams("SORT", 1))
+        rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+        rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+        for source in ("JOIN", "UNION"):
+            rs.add_trule(
+                TRule(
+                    name=f"{source.lower()}_to_aux",
+                    lhs=node(source, var("S1"), var("S2"), desc="D1"),
+                    rhs=node(
+                        "AUX",
+                        node("SORT", var("S1"), desc="D2"),
+                        var("S2"),
+                        desc="D3",
+                    ),
+                    post_test=block(copy_desc("D3", "D1")),
+                )
+            )
+        rs.add_irule(
+            IRule(
+                name="aux_nl",
+                lhs=node("AUX", var("S1"), var("S2"), desc="D1"),
+                rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+            )
+        )
+        merge_sort, null = sort_rules()
+        rs.add_irule(merge_sort)
+        rs.add_irule(null)
+        with pytest.raises(TranslationError, match="aliased to both"):
+            merge_rules(rs, analyse(rs))

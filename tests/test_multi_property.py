@@ -1,0 +1,187 @@
+"""Engine test: multiple physical properties and stacked enforcers.
+
+The paper's rule sets have a single physical property (tuple_order), but
+nothing in the Prairie or Volcano models limits the count — Volcano's
+property vectors are exactly that, vectors.  This module defines a rule
+set with *two* physical properties, ``tuple_order`` and ``compression``,
+each with its own enforcer-operator (SORT → Merge_sort, COMPRESS → Zip),
+and exercises the engine's vector machinery: partial requirements,
+combined requirements satisfied by stacking both enforcers, and the
+rejection of enforcers that would destroy an already-required property.
+"""
+
+import pytest
+
+from repro.algebra.expressions import interior_nodes
+from repro.algebra.properties import DONT_CARE
+from repro.catalog.schema import Catalog, StoredFileInfo
+from repro.errors import NoPlanFoundError
+from repro.optimizers.helpers import domain_helpers
+from repro.prairie.dsl import compile_spec
+from repro.prairie.translate import translate
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.trees import TreeBuilder
+
+SPEC = """
+property file_name   : string;
+property attributes  : attrs;
+property num_records : float;
+property tuple_size  : float;
+property selection_predicate : predicate;
+property join_predicate : predicate;
+property tuple_order : order;
+property compression : string;
+property cost        : cost;
+
+operator RET(file);
+operator SORT(stream);
+operator COMPRESS(stream);
+
+algorithm File_scan(file);
+algorithm Merge_sort(stream);
+algorithm Zip(stream);
+algorithm Null(stream);
+
+irule ret_file_scan:
+    RET(?F:DF):D1 => File_scan(?F):D2
+    ( TRUE )
+    {{
+        D2 = D1;
+        D2.tuple_order = DONT_CARE;
+        D2.compression = DONT_CARE;
+    }}
+    {{ D2.cost = scan_cost(D1.file_name); }}
+
+/* Merge_sort establishes order but destroys (well, ignores) any
+   compression requirement: its output is explicitly uncompressed. */
+irule sort_merge_sort:
+    SORT(?S1:D1):D2 => Merge_sort(?S1):D3
+    ( D2.tuple_order != DONT_CARE &&
+      contains(D2.attributes, D2.tuple_order) )
+    {{
+        D3 = D2;
+        D3.compression = DONT_CARE;
+    }}
+    {{ D3.cost = D1.cost + 0.02 * D3.num_records * log2(D3.num_records); }}
+
+irule sort_null:
+    SORT(?S1:D1):D2 => Null(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{ D4.cost = D3.cost; }}
+
+/* Zip establishes compression and preserves order: it demands its own
+   output order from its input. */
+irule compress_zip:
+    COMPRESS(?S1:D1):D2 => Zip(?S1:D3):D4
+    ( D2.compression != DONT_CARE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.tuple_order = D2.tuple_order;
+    }}
+    {{ D4.cost = D3.cost + 0.005 * D3.num_records; }}
+
+irule compress_null:
+    COMPRESS(?S1:D1):D2 => Null(?S1:D3):D4
+    ( TRUE )
+    {{
+        D4 = D2;
+        D3 = D1;
+        D3.compression = D2.compression;
+    }}
+    {{ D4.cost = D3.cost; }}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prairie = compile_spec(SPEC, name="multiprop", helpers=domain_helpers())
+    translation = translate(prairie)
+    catalog = Catalog([StoredFileInfo("F", ("a", "b"), 2000, 100)])
+    builder = TreeBuilder(translation.volcano.schema, catalog)
+    optimizer = VolcanoOptimizer(translation.volcano, catalog)
+    return translation, builder, optimizer
+
+
+class TestClassification:
+    def test_two_physical_properties(self, setup):
+        translation, _b, _o = setup
+        assert translation.analysis.physical_properties == (
+            "tuple_order",
+            "compression",
+        )
+
+    def test_two_enforcer_operators(self, setup):
+        translation, _b, _o = setup
+        assert set(translation.analysis.enforcer_operators) == {
+            "SORT",
+            "COMPRESS",
+        }
+        assert set(translation.analysis.enforcer_algorithms) == {
+            "Merge_sort",
+            "Zip",
+        }
+
+    def test_vector_length_two(self, setup):
+        translation, _b, _o = setup
+        assert len(translation.volcano.physical_properties) == 2
+
+
+class TestSingleRequirements:
+    def test_no_requirement_scans(self, setup):
+        _t, builder, optimizer = setup
+        result = optimizer.optimize(builder.ret("F"))
+        assert result.plan.op.name == "File_scan"
+
+    def test_order_only(self, setup):
+        _t, builder, optimizer = setup
+        result = optimizer.optimize(builder.ret("F"), required=("a", DONT_CARE))
+        assert result.plan.op.name == "Merge_sort"
+
+    def test_compression_only(self, setup):
+        _t, builder, optimizer = setup
+        result = optimizer.optimize(
+            builder.ret("F"), required=(DONT_CARE, "zip")
+        )
+        assert result.plan.op.name == "Zip"
+        assert result.plan.descriptor["compression"] == "zip"
+
+
+class TestStackedEnforcers:
+    def test_both_requirements_stack(self, setup):
+        """Order *and* compression: Zip over Merge_sort over File_scan.
+
+        Zip preserves order (it propagates the requirement down), while
+        Merge_sort destroys compression — so the only valid stacking has
+        Zip outermost.  The engine must discover this by itself.
+        """
+        _t, builder, optimizer = setup
+        result = optimizer.optimize(builder.ret("F"), required=("a", "zip"))
+        names = [n.op.name for n in interior_nodes(result.plan)]
+        assert names == ["Zip", "Merge_sort", "File_scan"]
+
+    def test_stacked_cost_exceeds_parts(self, setup):
+        _t, builder, optimizer = setup
+        base = optimizer.optimize(builder.ret("F")).cost
+        order_only = optimizer.optimize(
+            builder.ret("F"), required=("a", DONT_CARE)
+        ).cost
+        both = optimizer.optimize(builder.ret("F"), required=("a", "zip")).cost
+        assert base < order_only < both
+
+    def test_delivered_vector(self, setup):
+        _t, builder, optimizer = setup
+        result = optimizer.optimize(builder.ret("F"), required=("b", "zip"))
+        descriptor = result.plan.descriptor
+        assert descriptor["tuple_order"] == "b"
+        assert descriptor["compression"] == "zip"
+
+    def test_unsatisfiable_order_still_fails(self, setup):
+        _t, builder, optimizer = setup
+        with pytest.raises(NoPlanFoundError):
+            optimizer.optimize(builder.ret("F"), required=("zz", "zip"))

@@ -1,0 +1,149 @@
+"""The §3.3 merging claim, end to end.
+
+The non-compact relational rule set factors every physical requirement
+through the SORT enforcer-operator and auxiliary operators (footnote 5);
+P2V must merge it into an optimizer behaviourally identical to the one
+generated from the compact rule set — and to the hand-coded Volcano one.
+"""
+
+import pytest
+
+from repro.optimizers.relational_noncompact import build_relational_noncompact
+from repro.prairie.translate import translate
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.expressions import build_e1
+from repro.workloads.trees import TreeBuilder
+
+
+@pytest.fixture(scope="module")
+def noncompact_translation():
+    return translate(build_relational_noncompact())
+
+
+class TestMerging:
+    def test_rule_counts_match_compact(self, noncompact_translation):
+        volcano = noncompact_translation.volcano
+        # 4 T-rules − 2 renamings = 2 trans; 6 I-rules − Null − enforcer = 4
+        assert len(volcano.trans_rules) == 2
+        assert len(volcano.impl_rules) == 4
+        assert len(volcano.enforcers) == 1
+
+    def test_both_factorings_deleted(self, noncompact_translation):
+        report = noncompact_translation.report
+        assert set(report.deleted_renaming_rules) == {
+            "join_to_jopr",
+            "join_to_jjnl",
+        }
+
+    def test_auxiliary_operators_aliased_away(self, noncompact_translation):
+        report = noncompact_translation.report
+        assert report.operator_aliases == {"JOPR": "JOIN", "JJNL": "JOIN"}
+        assert "JOPR" not in noncompact_translation.volcano.operators
+        assert "JJNL" not in noncompact_translation.volcano.operators
+
+    def test_requirements_folded(self, noncompact_translation):
+        assert set(noncompact_translation.report.merged_i_rules) == {
+            "join_nested_loops",
+            "join_merge_join",
+        }
+        merge_join = next(
+            r
+            for r in noncompact_translation.merged.i_rules
+            if r.name == "join_merge_join"
+        )
+        # both inputs gained synthesized requirement descriptors
+        assert merge_join.rhs_input_descriptor(0) is not None
+        assert merge_join.rhs_input_descriptor(1) is not None
+        assert merge_join.operator_name == "JOIN"
+
+    def test_tuple_order_still_physical(self, noncompact_translation):
+        # classification runs post-merge: the folded assignments are what
+        # make tuple_order physical in this rule set
+        assert noncompact_translation.analysis.physical_properties == (
+            "tuple_order",
+        )
+
+
+class TestBehaviouralIdentity:
+    @pytest.mark.parametrize("n_joins", [1, 2, 3, 4])
+    @pytest.mark.parametrize("with_indices", [False, True])
+    def test_same_as_compact(
+        self,
+        schema,
+        relational_volcano_generated,
+        noncompact_translation,
+        n_joins,
+        with_indices,
+    ):
+        catalog = make_experiment_catalog(
+            n_joins + 1, with_indices=with_indices, with_targets=False, instance=2
+        )
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, n_joins)
+        compact = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            tree
+        )
+        noncompact = VolcanoOptimizer(
+            noncompact_translation.volcano, catalog
+        ).optimize(build_e1(builder, n_joins))
+        assert noncompact.cost == pytest.approx(compact.cost, rel=1e-12)
+        assert noncompact.equivalence_classes == compact.equivalence_classes
+        assert noncompact.stats.mexprs == compact.stats.mexprs
+
+    def test_same_as_hand_coded(
+        self, schema, relational_volcano_hand, noncompact_translation
+    ):
+        catalog = make_experiment_catalog(4, with_indices=True, with_targets=False)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 3)
+        hand = VolcanoOptimizer(relational_volcano_hand, catalog).optimize(tree)
+        noncompact = VolcanoOptimizer(
+            noncompact_translation.volcano, catalog
+        ).optimize(build_e1(builder, 3))
+        assert noncompact.cost == pytest.approx(hand.cost, rel=1e-12)
+        assert noncompact.equivalence_classes == hand.equivalence_classes
+
+    def test_sorted_request_same_plan(
+        self, schema, relational_volcano_generated, noncompact_translation
+    ):
+        catalog = make_experiment_catalog(3, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 2)
+        compact = VolcanoOptimizer(relational_volcano_generated, catalog).optimize(
+            tree, required=("b1",)
+        )
+        noncompact = VolcanoOptimizer(
+            noncompact_translation.volcano, catalog
+        ).optimize(build_e1(builder, 2), required=("b1",))
+        assert noncompact.cost == pytest.approx(compact.cost, rel=1e-12)
+        assert noncompact.plan.signature() == compact.plan.signature()
+
+    def test_executes_identically(
+        self, schema, noncompact_translation, relational_volcano_generated
+    ):
+        from repro.engine.executor import (
+            Database,
+            execute_plan,
+            rows_multiset,
+        )
+
+        catalog = make_experiment_catalog(
+            3, with_targets=False, fixed_cardinality=40
+        )
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 2)
+        db = Database(catalog, seed=1)
+        compact_rows = execute_plan(
+            VolcanoOptimizer(relational_volcano_generated, catalog)
+            .optimize(tree)
+            .plan,
+            db,
+        )
+        noncompact_rows = execute_plan(
+            VolcanoOptimizer(noncompact_translation.volcano, catalog)
+            .optimize(tree)
+            .plan,
+            db,
+        )
+        assert rows_multiset(compact_rows) == rows_multiset(noncompact_rows)

@@ -1,0 +1,87 @@
+"""Unit tests for operators and algorithms (first-class operations)."""
+
+import pytest
+
+from repro.algebra.operations import (
+    Algorithm,
+    DatabaseOperation,
+    InputKind,
+    NULL_ALGORITHM_NAME,
+    Operator,
+    make_null_algorithm,
+)
+from repro.errors import AlgebraError
+
+
+class TestConstruction:
+    def test_operator_default_single_stream(self):
+        op = Operator("SORT")
+        assert op.arity == 1
+        assert op.inputs == (InputKind.STREAM,)
+
+    def test_streams_builder(self):
+        op = Operator.streams("JOIN", 2)
+        assert op.arity == 2
+        assert all(k is InputKind.STREAM for k in op.inputs)
+
+    def test_on_file_builder(self):
+        op = Operator.on_file("RET")
+        assert op.inputs == (InputKind.FILE,)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(AlgebraError):
+            Operator("BAD NAME")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AlgebraError):
+            Operator("")
+
+    def test_underscores_allowed(self):
+        assert Algorithm("Merge_sort").name == "Merge_sort"
+
+    def test_list_inputs_coerced_to_tuple(self):
+        op = Operator("X", [InputKind.STREAM])
+        assert isinstance(op.inputs, tuple)
+
+    def test_non_inputkind_rejected(self):
+        with pytest.raises(AlgebraError):
+            Operator("X", ("stream",))  # type: ignore[arg-type]
+
+
+class TestKindPredicates:
+    def test_operator_is_operator(self):
+        op = Operator("JOIN", (InputKind.STREAM, InputKind.STREAM))
+        assert op.is_operator
+        assert not op.is_algorithm
+
+    def test_algorithm_is_algorithm(self):
+        alg = Algorithm.streams("Hash_join", 2)
+        assert alg.is_algorithm
+        assert not alg.is_operator
+
+    def test_str_is_name(self):
+        assert str(Operator("JOIN", (InputKind.STREAM,) * 2)) == "JOIN"
+
+
+class TestNullAlgorithm:
+    def test_make_null(self):
+        null = make_null_algorithm()
+        assert null.name == NULL_ALGORITHM_NAME
+        assert null.is_null
+        assert null.arity == 1
+
+    def test_other_algorithms_not_null(self):
+        assert not Algorithm.streams("Merge_sort", 1).is_null
+
+
+class TestEquality:
+    def test_value_equality(self):
+        assert Operator.streams("JOIN", 2) == Operator.streams("JOIN", 2)
+
+    def test_hashable(self):
+        ops = {Operator.streams("JOIN", 2), Operator.on_file("RET")}
+        assert len(ops) == 2
+
+    def test_tuning_parameters(self):
+        alg = Algorithm("Hash_join", (InputKind.STREAM,) * 2, tuning=("buckets",))
+        assert alg.tuning == ("buckets",)

@@ -1,0 +1,130 @@
+"""Behaviour tests for the centralized relational optimizer (Table 1)."""
+
+import pytest
+
+from repro.catalog.predicates import equals_attr, equals_const
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.expressions import build_e1
+from repro.workloads.trees import TreeBuilder
+
+
+class TestRuleSetShape:
+    def test_table1_operators(self, relational_prairie):
+        assert set(relational_prairie.operators) == {"RET", "JOIN", "SORT"}
+
+    def test_table1_algorithms(self, relational_prairie):
+        assert set(relational_prairie.algorithms) == {
+            "File_scan",
+            "Index_scan",
+            "Nested_loops",
+            "Merge_join",
+            "Merge_sort",
+            "Null",
+        }
+
+    def test_table1_implementations(self, relational_prairie):
+        by_op = {
+            op: sorted(a.name for a in relational_prairie.algorithms_for(op))
+            for op in relational_prairie.operators
+        }
+        assert by_op["RET"] == ["File_scan", "Index_scan"]
+        assert by_op["JOIN"] == ["Merge_join", "Nested_loops"]
+        assert by_op["SORT"] == ["Merge_sort", "Null"]
+
+    def test_validates(self, relational_prairie):
+        relational_prairie.validate()
+
+    def test_sort_is_the_only_enforcer_operator(self, relational_prairie):
+        assert relational_prairie.null_ruled_operators() == ("SORT",)
+
+
+class TestPlanChoices:
+    @pytest.fixture()
+    def setup(self, schema, relational_volcano_generated):
+        catalog = make_experiment_catalog(
+            4, with_indices=False, with_targets=False, fixed_cardinality=2000
+        )
+        builder = TreeBuilder(schema, catalog)
+        optimizer = VolcanoOptimizer(relational_volcano_generated, catalog)
+        return catalog, builder, optimizer
+
+    def test_join_produces_valid_algorithms(self, setup):
+        _catalog, builder, optimizer = setup
+        result = optimizer.optimize(build_e1(builder, 3))
+        from repro.algebra.expressions import interior_nodes
+
+        names = {n.op.name for n in interior_nodes(result.plan)}
+        assert names <= {
+            "File_scan",
+            "Index_scan",
+            "Nested_loops",
+            "Merge_join",
+            "Merge_sort",
+        }
+
+    def test_merge_join_inputs_sorted(self, setup):
+        """Every Merge_join node's inputs deliver the join attributes' order."""
+        _catalog, builder, optimizer = setup
+        result = optimizer.optimize(build_e1(builder, 3))
+        from repro.algebra.expressions import interior_nodes
+        from repro.algebra.properties import DONT_CARE
+
+        for node in interior_nodes(result.plan):
+            if node.op.name != "Merge_join":
+                continue
+            for child in node.inputs:
+                order = child.descriptor["tuple_order"]
+                assert order is not DONT_CARE, "merge join input not sorted"
+                assert order in child.descriptor["attributes"]
+
+    def test_selection_pushes_cost_down(self, schema, relational_volcano_generated):
+        catalog = make_experiment_catalog(
+            2, with_indices=False, with_targets=False, fixed_cardinality=2000
+        )
+        builder = TreeBuilder(schema, catalog)
+        optimizer = VolcanoOptimizer(relational_volcano_generated, catalog)
+        unfiltered = optimizer.optimize(
+            builder.join(
+                builder.ret("C1"), builder.ret("C2"), equals_attr("b1", "b2")
+            )
+        )
+        filtered = optimizer.optimize(
+            builder.join(
+                builder.ret("C1", equals_const("a1", 1)),
+                builder.ret("C2"),
+                equals_attr("b1", "b2"),
+            )
+        )
+        assert filtered.cost < unfiltered.cost
+
+
+class TestIndexSensitivity:
+    """The relational optimizer's RET algorithms *do* use indices."""
+
+    def run(self, schema, ruleset, with_indices):
+        catalog = make_experiment_catalog(
+            2,
+            with_indices=with_indices,
+            with_targets=False,
+            fixed_cardinality=2000,
+        )
+        builder = TreeBuilder(schema, catalog)
+        tree = builder.join(
+            builder.ret("C1", equals_const("a1", 1)),
+            builder.ret("C2", equals_const("a2", 2)),
+            equals_attr("b1", "b2"),
+        )
+        return VolcanoOptimizer(ruleset, catalog).optimize(tree)
+
+    def test_indices_reduce_cost(self, schema, relational_volcano_generated):
+        without = self.run(schema, relational_volcano_generated, False)
+        with_idx = self.run(schema, relational_volcano_generated, True)
+        assert with_idx.cost < without.cost
+
+    def test_indices_do_not_change_search_space(
+        self, schema, relational_volcano_generated
+    ):
+        without = self.run(schema, relational_volcano_generated, False)
+        with_idx = self.run(schema, relational_volcano_generated, True)
+        assert without.equivalence_classes == with_idx.equivalence_classes

@@ -1,0 +1,94 @@
+"""Unit tests for rule patterns (shared by Prairie and Volcano)."""
+
+import pytest
+
+from repro.algebra.patterns import (
+    PatternNode,
+    PatternVar,
+    descriptor_names,
+    pattern_depth,
+    pattern_nodes,
+    pattern_operations,
+    pattern_vars,
+    rename_operation,
+    validate_pattern,
+    walk_pattern,
+)
+from repro.errors import RuleError
+
+
+def assoc_lhs():
+    return PatternNode(
+        "JOIN",
+        (
+            PatternNode("JOIN", (PatternVar("S1", "DA"), PatternVar("S2", "DB")), "D1"),
+            PatternVar("S3", "DC"),
+        ),
+        "D2",
+    )
+
+
+class TestAccessors:
+    def test_pattern_vars_in_order(self):
+        assert [v.var for v in pattern_vars(assoc_lhs())] == ["S1", "S2", "S3"]
+
+    def test_pattern_nodes_preorder(self):
+        assert [n.op_name for n in pattern_nodes(assoc_lhs())] == ["JOIN", "JOIN"]
+
+    def test_pattern_operations(self):
+        assert pattern_operations(assoc_lhs()) == ("JOIN", "JOIN")
+
+    def test_descriptor_names_include_vars_and_nodes(self):
+        assert set(descriptor_names(assoc_lhs())) == {"D2", "D1", "DA", "DB", "DC"}
+
+    def test_walk_counts(self):
+        assert len(list(walk_pattern(assoc_lhs()))) == 5
+
+    def test_pattern_depth(self):
+        assert pattern_depth(PatternVar("S")) == 0
+        assert pattern_depth(PatternNode("RET", (PatternVar("F"),), "D1")) == 1
+        assert pattern_depth(assoc_lhs()) == 2
+
+    def test_str_rendering(self):
+        node = PatternNode("RET", (PatternVar("F", "DF"),), "D1")
+        assert str(node) == "RET(?F:DF):D1"
+        assert str(PatternVar("S")) == "?S"
+
+
+class TestValidation:
+    def test_valid_pattern_passes(self):
+        validate_pattern(assoc_lhs())
+
+    def test_root_variable_rejected(self):
+        with pytest.raises(RuleError):
+            validate_pattern(PatternVar("S"))
+
+    def test_duplicate_variable_rejected(self):
+        bad = PatternNode("JOIN", (PatternVar("S"), PatternVar("S")), "D1")
+        with pytest.raises(RuleError):
+            validate_pattern(bad)
+
+    def test_duplicate_descriptor_rejected(self):
+        bad = PatternNode(
+            "JOIN", (PatternVar("S1", "D1"), PatternVar("S2", "D1")), "D2"
+        )
+        with pytest.raises(RuleError):
+            validate_pattern(bad)
+
+
+class TestRename:
+    def test_rename_operation(self):
+        renamed = rename_operation(assoc_lhs(), "JOIN", "JOPR")
+        assert pattern_operations(renamed) == ("JOPR", "JOPR")
+
+    def test_rename_preserves_descriptors(self):
+        renamed = rename_operation(assoc_lhs(), "JOIN", "JOPR")
+        assert descriptor_names(renamed) == descriptor_names(assoc_lhs())
+
+    def test_rename_missing_is_identity(self):
+        renamed = rename_operation(assoc_lhs(), "NOPE", "X")
+        assert renamed == assoc_lhs()
+
+    def test_rename_leaves_vars_untouched(self):
+        var = PatternVar("S", "D")
+        assert rename_operation(var, "JOIN", "JOPR") is var

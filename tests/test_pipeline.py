@@ -1,0 +1,156 @@
+"""End-to-end integration: the Figure 8 optimizer-generator pipeline.
+
+Prairie specification text → parse → validate → P2V (detect, merge,
+classify, generate) → Volcano rule set → top-down search → access plan →
+execution — the complete path a user of the library takes.
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    VolcanoOptimizer,
+    compile_spec,
+    execute_plan,
+    naive_evaluate,
+    translate,
+)
+from repro.engine.executor import rows_multiset
+from repro.optimizers.helpers import domain_helpers
+from repro.prairie.codegen import format_prairie_spec, format_volcano_spec
+from repro.workloads import make_query_instance
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.trees import TreeBuilder
+
+SPEC = """
+property file_name           : string;
+property attributes          : attrs;
+property num_records         : float;
+property tuple_size          : float;
+property selection_predicate : predicate;
+property join_predicate      : predicate;
+property tuple_order         : order;
+property cost                : cost;
+
+operator RET(file);
+operator JOIN(stream, stream);
+operator SORT(stream);
+
+algorithm File_scan(file);
+algorithm Hash_join(stream, stream);
+algorithm Merge_sort(stream);
+algorithm Null(stream);
+
+trule join_commute:
+    JOIN(?S1:DL1, ?S2:DL2):D1 => JOIN(?S2, ?S1):D2
+    {{ }}
+    ( TRUE )
+    {{
+        D2 = D1;
+        D2.attributes = union(DL2.attributes, DL1.attributes);
+    }}
+
+irule ret_file_scan:
+    RET(?F:DF):D1 => File_scan(?F):D2
+    ( TRUE )
+    {{ D2 = D1; D2.tuple_order = DONT_CARE; }}
+    {{ D2.cost = scan_cost(D1.file_name); }}
+
+irule join_hash:
+    JOIN(?S1:D1, ?S2:D2):D3 => Hash_join(?S1, ?S2):D4
+    ( has_equijoin(D3.join_predicate) )
+    {{ D4 = D3; D4.tuple_order = DONT_CARE; }}
+    {{ D4.cost = D1.cost + D2.cost + 0.01 * (D1.num_records + 2 * D2.num_records); }}
+
+irule sort_merge_sort:
+    SORT(?S1:D1):D2 => Merge_sort(?S1):D3
+    ( D2.tuple_order != DONT_CARE && contains(D2.attributes, D2.tuple_order) )
+    {{ D3 = D2; }}
+    {{ D3.cost = D1.cost + 0.02 * D3.num_records * log2(D3.num_records); }}
+
+irule sort_null:
+    SORT(?S1:D1):D2 => Null(?S1:D3):D4
+    ( TRUE )
+    {{ D4 = D2; D3 = D1; D3.tuple_order = D2.tuple_order; }}
+    {{ D4.cost = D3.cost; }}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    prairie = compile_spec(SPEC, name="pipeline", helpers=domain_helpers())
+    translation = translate(prairie)
+    return prairie, translation
+
+
+class TestFigure8Pipeline:
+    def test_spec_compiles(self, pipeline):
+        prairie, _ = pipeline
+        assert len(prairie.t_rules) == 1
+        assert len(prairie.i_rules) == 4
+
+    def test_p2v_output_shape(self, pipeline):
+        _, translation = pipeline
+        volcano = translation.volcano
+        assert len(volcano.trans_rules) == 1
+        assert len(volcano.impl_rules) == 2
+        assert len(volcano.enforcers) == 1
+        assert translation.analysis.enforcer_operators == ("SORT",)
+
+    def test_optimize_and_execute(self, pipeline, schema):
+        _, translation = pipeline
+        catalog = make_experiment_catalog(
+            3, with_targets=False, fixed_cardinality=40
+        )
+        builder = TreeBuilder(translation.volcano.schema, catalog)
+        from repro.workloads.expressions import build_e1
+
+        tree = build_e1(builder, 2)
+        result = VolcanoOptimizer(translation.volcano, catalog).optimize(tree)
+        db = Database(catalog, seed=1)
+        assert rows_multiset(execute_plan(result.plan, db)) == rows_multiset(
+            naive_evaluate(tree, db)
+        )
+
+    def test_sorted_output_end_to_end(self, pipeline):
+        _, translation = pipeline
+        from repro.engine.iterators import is_sorted_on
+
+        catalog = make_experiment_catalog(
+            2, with_targets=False, fixed_cardinality=30
+        )
+        builder = TreeBuilder(translation.volcano.schema, catalog)
+        tree = builder.ret("C1")
+        result = VolcanoOptimizer(translation.volcano, catalog).optimize(
+            tree, required=("a1",)
+        )
+        assert result.plan.op.name == "Merge_sort"
+        db = Database(catalog, seed=1)
+        assert is_sorted_on(execute_plan(result.plan, db), "a1")
+
+    def test_spec_emitters_round(self, pipeline):
+        prairie, translation = pipeline
+        prairie_text = format_prairie_spec(prairie)
+        volcano_text = format_volcano_spec(translation)
+        reparsed = compile_spec(prairie_text, helpers=prairie.helpers)
+        assert len(reparsed.i_rules) == 4
+        assert "enforcer sort_merge_sort" in volcano_text
+
+
+class TestPublicApi:
+    def test_quickstart_from_docstring(self, schema):
+        """The README/module-docstring quickstart must actually run."""
+        from repro import build_oodb_prairie
+
+        prairie = build_oodb_prairie()
+        volcano = translate(prairie).volcano
+        catalog, tree = make_query_instance(prairie.schema, "Q5", n_joins=2)
+        result = VolcanoOptimizer(volcano, catalog).optimize(tree)
+        assert result.cost > 0
+        assert result.equivalence_classes > 0
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

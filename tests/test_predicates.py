@@ -1,0 +1,122 @@
+"""Unit tests for the predicate representation."""
+
+import pytest
+
+from repro.catalog.predicates import (
+    AttrRef,
+    Comparison,
+    Conjunction,
+    Const,
+    TRUE,
+    attributes_of,
+    conjoin,
+    conjuncts,
+    equality_pairs,
+    equals_attr,
+    equals_const,
+    evaluate,
+    split_by_attributes,
+)
+from repro.errors import AlgebraError
+
+
+class TestAtoms:
+    def test_equals_const(self):
+        atom = equals_const("a", 3)
+        assert atom.is_equality
+        assert not atom.is_equijoin
+        assert str(atom) == "a = 3"
+
+    def test_equals_attr(self):
+        atom = equals_attr("a", "b")
+        assert atom.is_equijoin
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AlgebraError):
+            Comparison(AttrRef("a"), "~", Const(1))
+
+    def test_all_comparison_operators(self):
+        row = {"a": 5}
+        cases = {"=": False, "!=": True, "<": True, "<=": True, ">": False, ">=": False}
+        for op, expected in cases.items():
+            atom = Comparison(AttrRef("a"), op, Const(7))
+            assert evaluate(atom, row) is expected, op
+
+
+class TestConjunction:
+    def test_true_is_empty(self):
+        assert not TRUE
+        assert str(TRUE) == "TRUE"
+        assert conjuncts(TRUE) == ()
+
+    def test_str(self):
+        pred = Conjunction((equals_const("a", 1), equals_const("b", 2)))
+        assert str(pred) == "a = 1 AND b = 2"
+
+    def test_conjoin_flattens(self):
+        pred = conjoin(
+            Conjunction((equals_const("a", 1),)),
+            equals_const("b", 2),
+            None,
+        )
+        assert len(conjuncts(pred)) == 2
+
+    def test_conjoin_single_atom_unwraps(self):
+        assert isinstance(conjoin(equals_const("a", 1)), Comparison)
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin() == TRUE
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == ()
+
+    def test_conjuncts_rejects_garbage(self):
+        with pytest.raises(AlgebraError):
+            conjuncts("a = b")  # type: ignore[arg-type]
+
+
+class TestEvaluation:
+    def test_conjunction_all_must_hold(self):
+        pred = conjoin(equals_const("a", 1), equals_const("b", 2))
+        assert evaluate(pred, {"a": 1, "b": 2})
+        assert not evaluate(pred, {"a": 1, "b": 3})
+
+    def test_true_accepts_everything(self):
+        assert evaluate(TRUE, {})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AlgebraError):
+            evaluate(equals_const("a", 1), {"b": 1})
+
+    def test_attr_to_attr(self):
+        assert evaluate(equals_attr("a", "b"), {"a": 3, "b": 3})
+        assert not evaluate(equals_attr("a", "b"), {"a": 3, "b": 4})
+
+
+class TestIntrospection:
+    def test_attributes_of(self):
+        pred = conjoin(equals_attr("a", "b"), equals_const("c", 1))
+        assert attributes_of(pred) == frozenset({"a", "b", "c"})
+
+    def test_attributes_of_none(self):
+        assert attributes_of(None) == frozenset()
+
+    def test_equality_pairs(self):
+        pred = conjoin(equals_attr("a", "b"), equals_const("c", 1))
+        assert equality_pairs(pred) == (("a", "b"),)
+
+    def test_split_by_attributes(self):
+        pred = conjoin(equals_const("a", 1), equals_attr("a", "b"))
+        inside, outside = split_by_attributes(pred, ("a",))
+        assert conjuncts(inside) == (equals_const("a", 1),)
+        assert conjuncts(outside) == (equals_attr("a", "b"),)
+
+    def test_split_everything_inside(self):
+        pred = equals_const("a", 1)
+        inside, outside = split_by_attributes(pred, ("a",))
+        assert conjuncts(outside) == ()
+        assert conjuncts(inside) == (pred,)
+
+    def test_predicates_are_hashable(self):
+        pred = conjoin(equals_attr("a", "b"), equals_const("c", 1))
+        assert hash(pred) == hash(conjoin(equals_attr("a", "b"), equals_const("c", 1)))

@@ -1,0 +1,194 @@
+"""Unit tests for descriptor properties and schemas."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.algebra.properties import (
+    DescriptorSchema,
+    DONT_CARE,
+    PropertyDef,
+    PropertyType,
+)
+from repro.errors import DescriptorError
+
+
+class TestDontCare:
+    def test_singleton(self):
+        from repro.algebra.properties import _DontCare
+
+        assert _DontCare() is DONT_CARE
+
+    def test_repr(self):
+        assert repr(DONT_CARE) == "DONT_CARE"
+
+    def test_falsy(self):
+        assert not DONT_CARE
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(DONT_CARE) is DONT_CARE
+        assert copy.deepcopy(DONT_CARE) is DONT_CARE
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(DONT_CARE)) is DONT_CARE
+
+    def test_equality_is_identity(self):
+        assert DONT_CARE == DONT_CARE
+        assert DONT_CARE != "anything"
+
+
+class TestPropertyType:
+    def test_int_accepts_int(self):
+        assert PropertyType.INT.check(5)
+
+    def test_int_rejects_bool(self):
+        assert not PropertyType.INT.check(True)
+
+    def test_int_rejects_float(self):
+        assert not PropertyType.INT.check(5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert PropertyType.FLOAT.check(5)
+        assert PropertyType.FLOAT.check(5.5)
+
+    def test_float_rejects_bool(self):
+        assert not PropertyType.FLOAT.check(False)
+
+    def test_bool(self):
+        assert PropertyType.BOOL.check(True)
+        assert not PropertyType.BOOL.check(1)
+
+    def test_string(self):
+        assert PropertyType.STRING.check("abc")
+        assert not PropertyType.STRING.check(3)
+
+    def test_order_accepts_str_and_tuple(self):
+        assert PropertyType.ORDER.check("a1")
+        assert PropertyType.ORDER.check(("a1", "a2"))
+        assert not PropertyType.ORDER.check(3)
+
+    def test_attrs(self):
+        assert PropertyType.ATTRS.check(("a", "b"))
+        assert PropertyType.ATTRS.check(["a"])
+        assert PropertyType.ATTRS.check(frozenset({"a"}))
+        assert not PropertyType.ATTRS.check("a")
+
+    def test_cost(self):
+        assert PropertyType.COST.check(3.5)
+        assert not PropertyType.COST.check("cheap")
+
+    def test_any_accepts_everything(self):
+        assert PropertyType.ANY.check(object())
+
+    def test_dont_care_accepted_by_all_types(self):
+        for ptype in PropertyType:
+            assert ptype.check(DONT_CARE)
+
+    def test_none_accepted_by_all_types(self):
+        for ptype in PropertyType:
+            assert ptype.check(None)
+
+
+class TestPropertyDef:
+    def test_basic(self):
+        prop = PropertyDef("cost", PropertyType.COST, 0.0, doc="plan cost")
+        assert prop.name == "cost"
+        assert prop.default == 0.0
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(DescriptorError):
+            PropertyDef("not valid", PropertyType.ANY)
+
+    def test_default_must_match_type(self):
+        with pytest.raises(DescriptorError):
+            PropertyDef("n", PropertyType.INT, default="five")
+
+    def test_dont_care_default_always_valid(self):
+        prop = PropertyDef("n", PropertyType.INT)
+        assert prop.default is DONT_CARE
+
+
+class TestDescriptorSchema:
+    def make(self):
+        schema = DescriptorSchema()
+        schema.declare("cost", PropertyType.COST)
+        schema.declare("tuple_order", PropertyType.ORDER)
+        schema.declare("num_records", PropertyType.FLOAT, default=0.0)
+        return schema
+
+    def test_declaration_order_preserved(self):
+        schema = self.make()
+        assert schema.names == ("cost", "tuple_order", "num_records")
+
+    def test_duplicate_rejected(self):
+        schema = self.make()
+        with pytest.raises(DescriptorError):
+            schema.declare("cost", PropertyType.COST)
+
+    def test_contains_and_getitem(self):
+        schema = self.make()
+        assert "cost" in schema
+        assert schema["cost"].type is PropertyType.COST
+        with pytest.raises(DescriptorError):
+            schema["missing"]
+
+    def test_len_and_iter(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert [p.name for p in schema] == list(schema.names)
+
+    def test_defaults_returns_fresh_dict(self):
+        schema = self.make()
+        first = schema.defaults()
+        second = schema.defaults()
+        assert first == second
+        assert first is not second
+        first["cost"] = 99
+        assert schema.defaults()["cost"] is DONT_CARE
+
+    def test_defaults_cache_invalidated_by_add(self):
+        schema = self.make()
+        schema.defaults()
+        schema.declare("late", PropertyType.ANY)
+        assert "late" in schema.defaults()
+
+    def test_cost_properties(self):
+        schema = self.make()
+        assert schema.cost_properties() == ("cost",)
+
+    def test_validate_value(self):
+        schema = self.make()
+        schema.validate_value("num_records", 5.0)
+        with pytest.raises(DescriptorError):
+            schema.validate_value("num_records", "lots")
+
+    def test_subset(self):
+        schema = self.make()
+        sub = schema.subset(("cost", "num_records"))
+        assert sub.names == ("cost", "num_records")
+
+    def test_merged_with_disjoint(self):
+        schema = self.make()
+        other = DescriptorSchema([PropertyDef("extra", PropertyType.ANY)])
+        merged = schema.merged_with(other)
+        assert "extra" in merged
+        assert len(merged) == 4
+
+    def test_merged_with_conflicting_definition(self):
+        schema = self.make()
+        other = DescriptorSchema([PropertyDef("cost", PropertyType.FLOAT)])
+        with pytest.raises(DescriptorError):
+            schema.merged_with(other)
+
+    def test_merged_with_identical_definition_ok(self):
+        schema = self.make()
+        other = DescriptorSchema([PropertyDef("cost", PropertyType.COST)])
+        merged = schema.merged_with(other)
+        assert len(merged) == 3
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        other = self.make()
+        other.declare("extra", PropertyType.ANY)
+        assert self.make() != other

@@ -1,0 +1,293 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.properties import (
+    DescriptorSchema,
+    DONT_CARE,
+    PropertyDef,
+    PropertyType,
+)
+from repro.catalog.predicates import (
+    Comparison,
+    Conjunction,
+    attributes_of,
+    conjoin,
+    conjuncts,
+    equals_attr,
+    equals_const,
+    evaluate,
+    split_by_attributes,
+)
+from repro.optimizers import helpers as H
+from repro.optimizers.costmodel import round_estimate
+from repro.prairie.actions import ActionEnv, BinOp, Call, Lit, PropRef, UnaryOp
+from repro.prairie.actions import TestExpr as ActionTestExpr
+from repro.prairie.compile import compile_test
+from repro.prairie.helpers import default_helpers, union
+
+ATTRS = ("a", "b", "c", "d")
+
+atoms = st.one_of(
+    st.builds(equals_const, st.sampled_from(ATTRS), st.integers(0, 5)),
+    st.builds(equals_attr, st.sampled_from(ATTRS), st.sampled_from(ATTRS)),
+)
+predicates = st.lists(atoms, max_size=5).map(lambda xs: conjoin(*xs))
+rows = st.fixed_dictionaries({a: st.integers(0, 5) for a in ATTRS})
+attr_subsets = st.lists(st.sampled_from(ATTRS), unique=True).map(tuple)
+
+
+class TestPredicateProperties:
+    @given(predicates, attr_subsets)
+    def test_split_is_a_partition(self, pred, attrs):
+        inside, outside = split_by_attributes(pred, attrs)
+        combined = set(conjuncts(inside)) | set(conjuncts(outside))
+        assert combined == set(conjuncts(pred))
+        assert not set(conjuncts(inside)) & set(conjuncts(outside))
+
+    @given(predicates, attr_subsets)
+    def test_inside_part_only_references_given_attrs(self, pred, attrs):
+        inside, _ = split_by_attributes(pred, attrs)
+        assert attributes_of(inside) <= set(attrs)
+
+    @given(predicates, rows)
+    def test_split_preserves_semantics(self, pred, row):
+        inside, outside = split_by_attributes(pred, ATTRS[:2])
+        assert evaluate(pred, row) == (
+            evaluate(inside, row) and evaluate(outside, row)
+        )
+
+    @given(predicates, predicates)
+    def test_canonical_conjoin_commutative(self, p1, p2):
+        assert H.conjoin_preds(p1, p2) == H.conjoin_preds(p2, p1)
+
+    @given(predicates)
+    def test_first_rest_cover(self, pred):
+        combined = H.conjoin_preds(H.pred_first(pred), H.pred_rest(pred))
+        assert set(conjuncts(combined)) == set(conjuncts(pred))
+
+    @given(predicates, rows)
+    def test_conjunction_evaluation_matches_atoms(self, pred, row):
+        assert evaluate(pred, row) == all(
+            evaluate(atom, row) for atom in conjuncts(pred)
+        )
+
+
+class TestUnionProperties:
+    lists = st.lists(st.sampled_from(ATTRS), max_size=6).map(tuple)
+
+    @given(lists, lists)
+    def test_union_contains_both(self, a, b):
+        result = union(a, b)
+        assert set(result) == set(a) | set(b)
+
+    @given(lists)
+    def test_union_idempotent(self, a):
+        assert union(a, a) == union(a)
+
+    @given(lists, lists)
+    def test_union_no_duplicates(self, a, b):
+        result = union(a, b)
+        assert len(result) == len(set(result))
+
+    @given(lists, lists, lists)
+    def test_union_associative(self, a, b, c):
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+
+class TestRounding:
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_idempotent(self, x):
+        assert round_estimate(round_estimate(x)) == round_estimate(x)
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_close_to_input(self, x):
+        rounded = round_estimate(x)
+        if x > 0:
+            assert abs(rounded - x) <= x * 1e-4
+
+    @given(
+        st.floats(min_value=1, max_value=1e9, allow_nan=False),
+        st.floats(min_value=1, max_value=1e9, allow_nan=False),
+    )
+    def test_nonnegative(self, a, b):
+        assert round_estimate(a * b) >= 0
+
+
+SCHEMA = DescriptorSchema(
+    [
+        PropertyDef("x", PropertyType.FLOAT),
+        PropertyDef("y", PropertyType.FLOAT),
+        PropertyDef("order", PropertyType.ORDER),
+    ]
+)
+
+values = st.fixed_dictionaries(
+    {
+        "x": st.floats(min_value=-100, max_value=100, allow_nan=False),
+        "y": st.floats(min_value=-100, max_value=100, allow_nan=False),
+    }
+)
+
+
+class TestDescriptorProperties:
+    @given(values)
+    def test_copy_equal_but_independent(self, vals):
+        d = Descriptor(SCHEMA, vals)
+        clone = d.copy()
+        assert clone == d
+        clone["x"] = 12345.0
+        assert d["x"] == vals["x"]
+
+    @given(values, values)
+    def test_assign_from_makes_equal(self, a_vals, b_vals):
+        a, b = Descriptor(SCHEMA, a_vals), Descriptor(SCHEMA, b_vals)
+        a.assign_from(b)
+        assert a == b
+
+    @given(values)
+    def test_project_matches_getitem(self, vals):
+        d = Descriptor(SCHEMA, vals)
+        assert d.project(("y", "x")) == (d["y"], d["x"])
+
+
+# -- random action expressions: interpreter vs compiler vs DSL ------------
+
+numeric_expr = st.recursive(
+    st.one_of(
+        st.integers(0, 9).map(Lit),
+        st.sampled_from(["x", "y"]).map(lambda p: PropRef("D1", p)),
+    ),
+    lambda children: st.one_of(
+        st.builds(BinOp, st.sampled_from(["+", "-", "*"]), children, children),
+        st.builds(lambda c: UnaryOp("-", c), children),
+        st.builds(lambda c: Call("max", (c, Lit(1))), children),
+    ),
+    max_leaves=8,
+)
+
+bool_expr = st.one_of(
+    st.builds(BinOp, st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+              numeric_expr, numeric_expr),
+    st.builds(
+        lambda a, b: BinOp("&&", a, b),
+        st.builds(BinOp, st.just("<"), numeric_expr, numeric_expr),
+        st.builds(BinOp, st.just(">"), numeric_expr, numeric_expr),
+    ),
+)
+
+
+def _env():
+    d1 = Descriptor(SCHEMA, {"x": 3.0, "y": 7.0})
+    return ActionEnv({"D1": d1}, default_helpers())
+
+
+class TestCompilerAgreesWithInterpreter:
+    @settings(max_examples=120, suppress_health_check=[HealthCheck.too_slow])
+    @given(numeric_expr)
+    def test_numeric_expressions(self, expr):
+        wrapped = ActionTestExpr(BinOp("==", expr, expr))
+        # trivially true, but forces full evaluation through both paths
+        assert wrapped.evaluate(_env())
+        assert compile_test(wrapped, default_helpers())(_env())
+
+    @settings(max_examples=120, suppress_health_check=[HealthCheck.too_slow])
+    @given(bool_expr)
+    def test_boolean_expressions(self, expr):
+        wrapped = ActionTestExpr(expr)
+        interpreted = wrapped.evaluate(_env())
+        compiled = compile_test(wrapped, default_helpers())(_env())
+        assert interpreted == compiled
+
+
+class TestDslExpressionRoundTrip:
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    @given(bool_expr)
+    def test_format_parse_evaluate(self, expr):
+        """str(expr) reparsed through the DSL evaluates identically."""
+        from repro.prairie.dsl.parser import _Parser
+        from repro.prairie.dsl.lexer import tokenize
+
+        text = str(expr)
+        parsed = _Parser(tokenize(text)).parse_expr()
+        env_a, env_b = _env(), _env()
+        assert ActionTestExpr(expr).evaluate(env_a) == ActionTestExpr(parsed).evaluate(env_b)
+
+
+class TestMemoDedupProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["A", "B"]), st.integers(0, 3)),
+                    min_size=1, max_size=12))
+    def test_reinsertion_never_grows(self, specs):
+        from repro.algebra.expressions import StoredFileRef
+        from repro.volcano.memo import Memo, MExpr
+
+        memo = Memo(("x",))
+        leaf = memo.add_file(StoredFileRef("F", Descriptor(SCHEMA)))
+        for op, x in specs:
+            memo.insert(MExpr(op, (leaf.group_id,), Descriptor(SCHEMA, {"x": float(x)})))
+        before = memo.stats()
+        for op, x in specs:
+            _, created = memo.insert(
+                MExpr(op, (leaf.group_id,), Descriptor(SCHEMA, {"x": float(x)}))
+            )
+            assert not created
+        assert memo.stats() == before
+
+
+class TestDataGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 5))
+    def test_rows_deterministic_and_in_domain(self, cardinality, seed):
+        from repro.catalog.data import generate_rows
+        from repro.catalog.schema import Catalog, StoredFileInfo
+        from repro.catalog.statistics import DISTINCT_FRACTION
+
+        catalog = Catalog([StoredFileInfo("F", ("v",), cardinality)])
+        rows_a = generate_rows(catalog["F"], catalog, seed)
+        rows_b = generate_rows(catalog["F"], catalog, seed)
+        assert rows_a == rows_b
+        domain = max(1, round(cardinality * DISTINCT_FRACTION))
+        assert all(0 <= r["v"] < domain for r in rows_a)
+
+
+class TestPlanEquivalenceProperty:
+    """Random small workloads: the optimizer's plan equals the oracle."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        template=st.sampled_from(["E1", "E2", "E3", "E4"]),
+        seed=st.integers(0, 100),
+        cardinality=st.integers(10, 60),
+    )
+    def test_random_instances(self, template, seed, cardinality):
+        from repro.bench.harness import build_optimizer_pair
+        from repro.engine.executor import (
+            Database,
+            execute_plan,
+            naive_evaluate,
+            rows_multiset,
+        )
+        from repro.volcano.search import VolcanoOptimizer
+        from repro.workloads.catalogs import make_experiment_catalog
+        from repro.workloads.expressions import build_expression
+        from repro.workloads.trees import TreeBuilder
+
+        pair = build_optimizer_pair("oodb")
+        catalog = make_experiment_catalog(
+            2,
+            with_indices=template in ("E3", "E4"),
+            with_targets=template in ("E2", "E4"),
+            fixed_cardinality=cardinality,
+        )
+        builder = TreeBuilder(pair.schema, catalog)
+        tree = build_expression(builder, template, 1)
+        result = VolcanoOptimizer(pair.generated, catalog).optimize(tree)
+        db = Database(catalog, seed=seed)
+        assert rows_multiset(execute_plan(result.plan, db)) == rows_multiset(
+            naive_evaluate(tree, db)
+        )

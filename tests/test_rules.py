@@ -1,0 +1,141 @@
+"""Unit tests for Prairie T-rules and I-rules (structural validation)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.prairie.build import assign, block, copy_desc, lit, node, prop, var
+from repro.prairie.rules import IRule, TRule
+
+
+def commute():
+    return TRule(
+        name="commute",
+        lhs=node("JOIN", var("S1", "DL1"), var("S2", "DL2"), desc="D1"),
+        rhs=node("JOIN", var("S2"), var("S1"), desc="D2"),
+        post_test=block(copy_desc("D2", "D1")),
+    )
+
+
+class TestTRuleValidation:
+    def test_valid_rule(self):
+        rule = commute()
+        assert rule.lhs_descriptors == frozenset({"D1", "DL1", "DL2"})
+        assert rule.rhs_descriptors == frozenset({"D2"})
+        assert rule.operations() == frozenset({"JOIN"})
+
+    def test_variable_mismatch_rejected(self):
+        with pytest.raises(RuleError):
+            TRule(
+                name="bad",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("JOIN", var("S1"), var("S3"), desc="D2"),
+            )
+
+    def test_rhs_variable_descriptor_rejected(self):
+        with pytest.raises(RuleError):
+            TRule(
+                name="bad",
+                lhs=node("SORT", var("S1", "DL"), desc="D1"),
+                rhs=node("SORT", var("S1", "D9"), desc="D2"),
+            )
+
+    def test_descriptor_overlap_rejected(self):
+        with pytest.raises(RuleError):
+            TRule(
+                name="bad",
+                lhs=node("SORT", var("S1"), desc="D1"),
+                rhs=node("SORT", var("S1"), desc="D1"),
+            )
+
+    def test_action_assigning_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            TRule(
+                name="bad",
+                lhs=node("SORT", var("S1"), desc="D1"),
+                rhs=node("SORT", var("S1"), desc="D2"),
+                post_test=block(assign("D1", "cost", lit(1.0))),
+            )
+
+    def test_action_assigning_unknown_descriptor_rejected(self):
+        with pytest.raises(RuleError):
+            TRule(
+                name="bad",
+                lhs=node("SORT", var("S1"), desc="D1"),
+                rhs=node("SORT", var("S1"), desc="D2"),
+                post_test=block(assign("D9", "cost", lit(1.0))),
+            )
+
+    def test_str(self):
+        assert "commute" in str(commute())
+
+
+class TestIRuleValidation:
+    def make(self):
+        return IRule(
+            name="nl",
+            lhs=node("JOIN", var("S1", "D1"), var("S2", "D2"), desc="D3"),
+            rhs=node("Nested_loops", var("S1", "D4"), var("S2"), desc="D5"),
+            pre_opt=block(
+                copy_desc("D5", "D3"),
+                copy_desc("D4", "D1"),
+                assign("D4", "tuple_order", prop("D3", "tuple_order")),
+            ),
+            post_opt=block(assign("D5", "cost", prop("D4", "cost"))),
+        )
+
+    def test_accessors(self):
+        rule = self.make()
+        assert rule.operator_name == "JOIN"
+        assert rule.algorithm_name == "Nested_loops"
+        assert rule.arity == 2
+        assert rule.lhs_descriptor == "D3"
+        assert rule.rhs_descriptor == "D5"
+        assert rule.input_vars == ("S1", "S2")
+        assert rule.lhs_input_descriptor(0) == "D1"
+        assert rule.rhs_input_descriptor(0) == "D4"
+        assert rule.rhs_input_descriptor(1) is None
+        assert not rule.is_null_rule
+
+    def test_null_rule_detected(self):
+        rule = IRule(
+            name="null",
+            lhs=node("SORT", var("S1", "D1"), desc="D2"),
+            rhs=node("Null", var("S1", "D3"), desc="D4"),
+        )
+        assert rule.is_null_rule
+
+    def test_nested_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            IRule(
+                name="bad",
+                lhs=node("JOIN", node("RET", var("F"), desc="DX"), var("S"), desc="D1"),
+                rhs=node("Alg", var("F"), var("S"), desc="D2"),
+            )
+
+    def test_variable_order_must_match(self):
+        with pytest.raises(RuleError):
+            IRule(
+                name="bad",
+                lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                rhs=node("Alg", var("S2"), var("S1"), desc="D2"),
+            )
+
+    def test_descriptor_overlap_rejected(self):
+        with pytest.raises(RuleError):
+            IRule(
+                name="bad",
+                lhs=node("SORT", var("S1", "D1"), desc="D2"),
+                rhs=node("Merge_sort", var("S1", "D1"), desc="D3"),
+            )
+
+    def test_pre_opt_assign_to_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            IRule(
+                name="bad",
+                lhs=node("SORT", var("S1", "D1"), desc="D2"),
+                rhs=node("Merge_sort", var("S1"), desc="D3"),
+                pre_opt=block(assign("D2", "tuple_order", lit("x"))),
+            )
+
+    def test_str(self):
+        assert "Nested_loops" in str(self.make())

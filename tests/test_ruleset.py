@@ -1,0 +1,184 @@
+"""Unit tests for Prairie rule-set containers and whole-set validation."""
+
+import pytest
+
+from repro.algebra.operations import Algorithm, Operator
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.errors import RuleSetError
+from repro.prairie.build import block, copy_desc, node, var
+from repro.prairie.rules import IRule, TRule
+from repro.prairie.ruleset import PrairieRuleSet
+
+
+def make_schema():
+    return DescriptorSchema(
+        [
+            PropertyDef("cost", PropertyType.COST),
+            PropertyDef("tuple_order", PropertyType.ORDER),
+        ]
+    )
+
+
+def make_ruleset():
+    rs = PrairieRuleSet("test", make_schema())
+    rs.declare_operator(Operator.streams("SORT", 1))
+    rs.declare_operator(Operator.streams("JOIN", 2))
+    rs.declare_algorithm(Algorithm.streams("Merge_sort", 1))
+    rs.declare_algorithm(Algorithm.streams("Nested_loops", 2))
+    return rs
+
+
+def sort_merge_sort():
+    return IRule(
+        name="sort_ms",
+        lhs=node("SORT", var("S1", "D1"), desc="D2"),
+        rhs=node("Merge_sort", var("S1"), desc="D3"),
+        pre_opt=block(copy_desc("D3", "D2")),
+    )
+
+
+def sort_null():
+    return IRule(
+        name="sort_null",
+        lhs=node("SORT", var("S1", "D1"), desc="D2"),
+        rhs=node("Null", var("S1", "D3"), desc="D4"),
+    )
+
+
+def join_nl():
+    return IRule(
+        name="join_nl",
+        lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+        rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+    )
+
+
+class TestDeclarations:
+    def test_null_always_available(self):
+        rs = make_ruleset()
+        assert "Null" in rs.algorithms
+
+    def test_duplicate_operator_rejected(self):
+        rs = make_ruleset()
+        with pytest.raises(RuleSetError):
+            rs.declare_operator(Operator.streams("SORT", 1))
+
+    def test_operator_algorithm_name_clash_rejected(self):
+        rs = make_ruleset()
+        with pytest.raises(RuleSetError):
+            rs.declare_algorithm(Algorithm.streams("SORT", 1))
+
+    def test_duplicate_rule_name_rejected(self):
+        rs = make_ruleset()
+        rs.add_irule(join_nl())
+        with pytest.raises(RuleSetError):
+            rs.add_irule(
+                IRule(
+                    name="join_nl",
+                    lhs=node("JOIN", var("S1"), var("S2"), desc="D1"),
+                    rhs=node("Nested_loops", var("S1"), var("S2"), desc="D2"),
+                )
+            )
+
+
+class TestQueries:
+    def test_i_rules_for(self):
+        rs = make_ruleset()
+        rs.add_irule(sort_merge_sort())
+        rs.add_irule(sort_null())
+        rs.add_irule(join_nl())
+        assert [r.name for r in rs.i_rules_for("SORT")] == ["sort_ms", "sort_null"]
+
+    def test_algorithms_for(self):
+        rs = make_ruleset()
+        rs.add_irule(sort_merge_sort())
+        rs.add_irule(sort_null())
+        names = [a.name for a in rs.algorithms_for("SORT")]
+        assert names == ["Merge_sort", "Null"]
+
+    def test_null_ruled_operators(self):
+        rs = make_ruleset()
+        rs.add_irule(sort_merge_sort())
+        rs.add_irule(sort_null())
+        assert rs.null_ruled_operators() == ("SORT",)
+
+    def test_rules_iterator(self):
+        rs = make_ruleset()
+        rs.add_irule(join_nl())
+        assert len(list(rs.rules())) == 1
+
+    def test_counts(self):
+        rs = make_ruleset()
+        rs.add_irule(join_nl())
+        counts = rs.counts()
+        assert counts["operators"] == 2
+        assert counts["algorithms"] == 2  # Null excluded
+        assert counts["i_rules"] == 1
+
+
+class TestValidation:
+    def test_valid_set_passes(self):
+        rs = make_ruleset()
+        rs.add_irule(sort_merge_sort())
+        rs.add_irule(sort_null())
+        rs.add_irule(join_nl())
+        rs.validate()
+
+    def test_undeclared_operator_in_rule_flagged(self):
+        rs = make_ruleset()
+        rs.add_irule(
+            IRule(
+                name="bad",
+                lhs=node("MYSTERY", var("S1"), desc="D1"),
+                rhs=node("Merge_sort", var("S1"), desc="D2"),
+            )
+        )
+        rs.add_irule(join_nl())
+        problems = rs.problems()
+        assert any("MYSTERY" in p for p in problems)
+
+    def test_undeclared_algorithm_flagged(self):
+        rs = make_ruleset()
+        rs.add_irule(
+            IRule(
+                name="bad",
+                lhs=node("SORT", var("S1"), desc="D1"),
+                rhs=node("Quick_sort", var("S1"), desc="D2"),
+            )
+        )
+        assert any("Quick_sort" in p for p in rs.problems())
+
+    def test_unused_algorithm_flagged(self):
+        rs = make_ruleset()
+        rs.add_irule(join_nl())
+        assert any("Merge_sort" in p for p in rs.problems())
+
+    def test_trule_arity_mismatch_flagged(self):
+        rs = make_ruleset()
+        rs.add_trule(
+            TRule(
+                name="bad_arity",
+                lhs=node("SORT", var("S1"), var("S2"), desc="D1"),
+                rhs=node("JOIN", var("S1"), var("S2"), desc="D2"),
+            )
+        )
+        assert any("SORT takes 1" in p for p in rs.problems())
+
+    def test_null_rule_missing_requirement_descriptor_flagged(self):
+        rs = make_ruleset()
+        rs.add_irule(
+            IRule(
+                name="bad_null",
+                lhs=node("SORT", var("S1", "D1"), desc="D2"),
+                rhs=node("Null", var("S1"), desc="D4"),  # no :D3 on input
+            )
+        )
+        assert any("D3 of Equation (6)" in p for p in rs.problems())
+
+    def test_validate_raises_on_problems(self):
+        rs = make_ruleset()
+        with pytest.raises(RuleSetError):
+            rs.validate()  # unused algorithms
+
+    def test_repr(self):
+        assert "PrairieRuleSet" in repr(make_ruleset())

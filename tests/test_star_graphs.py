@@ -1,0 +1,86 @@
+"""Tests for star query graphs (the paper's stated future work)."""
+
+import pytest
+
+from repro.catalog.predicates import attributes_of
+from repro.errors import AlgebraError
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.catalogs import make_experiment_catalog
+from repro.workloads.expressions import (
+    build_e1,
+    build_e2,
+    star_join_predicate,
+)
+from repro.workloads.trees import TreeBuilder
+
+
+@pytest.fixture()
+def builder(schema):
+    return TreeBuilder(
+        schema, make_experiment_catalog(6, with_targets=True, instance=0)
+    )
+
+
+class TestStarPredicates:
+    def test_all_satellites_join_the_hub(self):
+        for i in (1, 2, 3):
+            assert attributes_of(star_join_predicate(i)) >= {"b1"}
+
+    def test_star_tree_builds(self, builder):
+        tree = build_e1(builder, 3, topology="star")
+        assert tree.op.name == "JOIN"
+
+    def test_star_e2_builds(self, builder):
+        tree = build_e2(builder, 3, topology="star")
+        assert tree.op.name == "JOIN"
+
+    def test_unknown_topology_rejected(self, builder):
+        with pytest.raises(AlgebraError):
+            build_e1(builder, 2, topology="ring")
+
+
+class TestStarSearchSpace:
+    def run(self, schema, ruleset, topology, n):
+        catalog = make_experiment_catalog(n + 1, with_targets=False, instance=0)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, n, topology=topology)
+        return VolcanoOptimizer(ruleset, catalog).optimize(tree)
+
+    def test_star_larger_space_at_scale(self, schema, oodb_volcano_generated):
+        linear = self.run(schema, oodb_volcano_generated, "linear", 5)
+        star = self.run(schema, oodb_volcano_generated, "star", 5)
+        assert star.equivalence_classes > linear.equivalence_classes
+        assert star.stats.mexprs > linear.stats.mexprs
+
+    def test_topologies_coincide_at_one_join(self, schema, oodb_volcano_generated):
+        linear = self.run(schema, oodb_volcano_generated, "linear", 1)
+        star = self.run(schema, oodb_volcano_generated, "star", 1)
+        assert linear.equivalence_classes == star.equivalence_classes
+
+    def test_star_plans_semantically_correct(self, schema, oodb_volcano_generated):
+        from repro.engine.executor import (
+            Database,
+            execute_plan,
+            naive_evaluate,
+            rows_multiset,
+        )
+
+        catalog = make_experiment_catalog(
+            4, with_targets=False, fixed_cardinality=30
+        )
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 3, topology="star")
+        result = VolcanoOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        db = Database(catalog, seed=17)
+        assert rows_multiset(execute_plan(result.plan, db)) == rows_multiset(
+            naive_evaluate(tree, db)
+        )
+
+    def test_differential_on_star(self, schema, oodb_volcano_generated, oodb_volcano_hand):
+        catalog = make_experiment_catalog(4, with_targets=False, instance=1)
+        builder = TreeBuilder(schema, catalog)
+        tree = build_e1(builder, 3, topology="star")
+        generated = VolcanoOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        hand = VolcanoOptimizer(oodb_volcano_hand, catalog).optimize(tree)
+        assert generated.cost == pytest.approx(hand.cost, rel=1e-12)
+        assert generated.equivalence_classes == hand.equivalence_classes

@@ -1,0 +1,227 @@
+"""Unit tests for the P2V translator (Prairie → Volcano)."""
+
+import pytest
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.properties import DONT_CARE
+from repro.prairie.actions import ActionEnv
+from repro.prairie.translate import translate, translate_to_volcano
+
+
+class TestRelationalTranslation:
+    def test_rule_counts(self, relational_prairie, relational_translation):
+        volcano = relational_translation.volcano
+        # 2 T-rules -> 2 trans_rules; 6 I-rules -> 4 impl + 1 enforcer + 1 Null
+        assert len(volcano.trans_rules) == 2
+        assert len(volcano.impl_rules) == 4
+        assert len(volcano.enforcers) == 1
+        assert len(relational_prairie.i_rules) == 6
+
+    def test_enforcer_operator_removed(self, relational_translation):
+        volcano = relational_translation.volcano
+        assert "SORT" not in volcano.operators
+        assert set(volcano.operators) == {"RET", "JOIN"}
+
+    def test_null_algorithm_removed(self, relational_translation):
+        assert "Null" not in relational_translation.volcano.algorithms
+
+    def test_enforcer_is_merge_sort(self, relational_translation):
+        enforcer = relational_translation.volcano.enforcers[0]
+        assert enforcer.algorithm.name == "Merge_sort"
+        assert enforcer.operator == "SORT"
+
+    def test_provenance(self, relational_translation):
+        assert relational_translation.volcano.provenance == "p2v-generated"
+
+    def test_physical_properties(self, relational_translation):
+        assert relational_translation.volcano.physical_properties == ("tuple_order",)
+
+    def test_cost_property(self, relational_translation):
+        assert relational_translation.volcano.cost_property == "cost"
+
+    def test_argument_properties_exclude_physical_and_cost(
+        self, relational_translation
+    ):
+        args = relational_translation.volcano.argument_properties
+        assert "tuple_order" not in args
+        assert "cost" not in args
+        assert "join_predicate" in args
+
+    def test_convenience_wrapper(self, relational_prairie):
+        volcano = translate_to_volcano(relational_prairie)
+        assert volcano.counts()["impl_rules"] == 4
+
+    def test_summary(self, relational_translation):
+        summary = relational_translation.summary()
+        assert summary["impl_rules"] == 4
+        assert summary["enforcers"] == 1
+        assert summary["null_i_rules"] == 1
+
+
+class TestOodbTranslation:
+    """The paper's Section 4.2 rule-count arithmetic, exactly."""
+
+    def test_paper_rule_counts(self, oodb_prairie, oodb_translation):
+        assert len(oodb_prairie.t_rules) == 22
+        assert len(oodb_prairie.i_rules) == 11
+        assert len(oodb_translation.volcano.trans_rules) == 17
+        assert len(oodb_translation.volcano.impl_rules) == 9
+        assert len(oodb_translation.volcano.enforcers) == 1
+
+    def test_five_sort_introduction_rules_deleted(self, oodb_translation):
+        assert oodb_translation.report.deleted_t_rule_count == 5
+        assert len(oodb_translation.report.deleted_identity_rules) == 5
+
+    def test_project_constraints(self, oodb_prairie, oodb_translation):
+        # PROJECT: no trans_rules, exactly one impl_rule (paper fn. 9).
+        volcano = oodb_translation.volcano
+        project_trans = [
+            r
+            for r in volcano.trans_rules
+            if "PROJECT" in str(r.lhs) or "PROJECT" in str(r.rhs)
+        ]
+        assert project_trans == []
+        project_impl = volcano.impl_rules_for("PROJECT")
+        assert len(project_impl) == 1
+
+    def test_unnest_constraints(self, oodb_translation):
+        # UNNEST: exactly one trans_rule and one impl_rule (paper fn. 9).
+        volcano = oodb_translation.volcano
+        unnest_trans = [
+            r
+            for r in volcano.trans_rules
+            if "UNNEST" in str(r.lhs) or "UNNEST" in str(r.rhs)
+        ]
+        assert len(unnest_trans) == 1
+        assert len(volcano.impl_rules_for("UNNEST")) == 1
+
+    def test_index_scan_in_two_impl_rules(self, oodb_translation):
+        # Per-rule property mapping: one algorithm, two impl_rules.
+        volcano = oodb_translation.volcano
+        index_rules = [
+            r for r in volcano.impl_rules if r.algorithm.name == "Index_scan"
+        ]
+        assert len(index_rules) == 2
+
+    def test_eight_algorithms_plus_enforcer(self, oodb_translation):
+        volcano = oodb_translation.volcano
+        assert len(volcano.algorithms) == 9  # 8 + Merge_sort (the enforcer)
+        assert "Null" not in volcano.algorithms
+
+    def test_validation_passes(self, oodb_translation):
+        oodb_translation.volcano.validate()
+
+
+class TestEnforcerlessRuleSets:
+    """A rule set with no Null rules translates to zero enforcers."""
+
+    def build(self):
+        from repro.algebra.operations import Algorithm, Operator
+        from repro.optimizers.helpers import domain_helpers
+        from repro.optimizers.schema import make_schema
+        from repro.prairie.build import assign, block, call, copy_desc, node, prop, var
+        from repro.prairie.rules import IRule
+        from repro.prairie.ruleset import PrairieRuleSet
+
+        ruleset = PrairieRuleSet("plain", make_schema(), helpers=domain_helpers())
+        ruleset.declare_operator(Operator.on_file("RET"))
+        ruleset.declare_algorithm(Algorithm.on_file("File_scan"))
+        ruleset.add_irule(
+            IRule(
+                name="scan",
+                lhs=node("RET", var("F", "DF"), desc="D1"),
+                rhs=node("File_scan", var("F"), desc="D2"),
+                pre_opt=block(copy_desc("D2", "D1")),
+                post_opt=block(
+                    assign("D2", "cost", call("scan_cost", prop("D1", "file_name")))
+                ),
+            )
+        )
+        return ruleset
+
+    def test_no_enforcers_generated(self):
+        result = translate(self.build())
+        assert result.volcano.enforcers == []
+        assert result.analysis.enforcer_operators == ()
+
+    def test_no_physical_properties_without_pre_opt_writes(self):
+        result = translate(self.build())
+        # the only pre-opt statement is a whole-descriptor copy
+        assert result.analysis.physical_properties == ()
+        # ⇒ property vectors are empty; optimization still works
+        from repro.volcano.properties import dont_care_vector
+
+        assert dont_care_vector(result.volcano.physical_properties) == ()
+
+    def test_optimizes_with_empty_vector(self):
+        from repro.catalog.schema import Catalog, StoredFileInfo
+        from repro.volcano.search import VolcanoOptimizer
+        from repro.workloads.trees import TreeBuilder
+
+        result = translate(self.build())
+        catalog = Catalog([StoredFileInfo("F", ("a",), 100, 100)])
+        builder = TreeBuilder(result.volcano.schema, catalog)
+        plan = VolcanoOptimizer(result.volcano, catalog).optimize(builder.ret("F"))
+        assert plan.plan.op.name == "File_scan"
+
+
+class TestGeneratedCallables:
+    """The four generated support functions behave per Table 4(b)."""
+
+    def _nl_rule(self, relational_translation):
+        (rule,) = [
+            r
+            for r in relational_translation.volcano.impl_rules
+            if r.name == "join_nested_loops"
+        ]
+        return rule
+
+    def _env(self, relational_translation, rule, order="a1"):
+        schema = relational_translation.volcano.schema
+        op = Descriptor(
+            schema,
+            {"num_records": 100.0, "tuple_order": order, "attributes": ("a1",)},
+        )
+        d1 = Descriptor(schema, {"num_records": 10.0, "attributes": ("a1",)})
+        d2 = Descriptor(schema, {"num_records": 5.0})
+        descriptors = {
+            rule.op_desc_name: op,
+            "D1": d1,
+            "D2": d2,
+        }
+        for name in rule.rhs_descriptor_names:
+            descriptors[name] = Descriptor(schema)
+        return ActionEnv(descriptors, relational_translation.volcano.helpers)
+
+    def test_do_any_good_runs_pre_opt(self, relational_translation):
+        rule = self._nl_rule(relational_translation)
+        env = self._env(relational_translation, rule)
+        assert rule.cond_code(env)
+        assert rule.do_any_good(env)
+        # pre-opt copied the op descriptor into the algorithm descriptor
+        assert env.descriptors["D5"]["num_records"] == 100.0
+        # and propagated the required order onto the outer input
+        assert env.descriptors["D4"]["tuple_order"] == "a1"
+
+    def test_get_input_pv(self, relational_translation):
+        rule = self._nl_rule(relational_translation)
+        env = self._env(relational_translation, rule)
+        rule.do_any_good(env)
+        assert rule.get_input_pv(env, 0) == ("a1",)
+        assert rule.get_input_pv(env, 1) == (DONT_CARE,)
+
+    def test_derive_phy_prop(self, relational_translation):
+        rule = self._nl_rule(relational_translation)
+        env = self._env(relational_translation, rule)
+        rule.do_any_good(env)
+        assert rule.derive_phy_prop(env) == ("a1",)
+
+    def test_cost_runs_post_opt(self, relational_translation):
+        rule = self._nl_rule(relational_translation)
+        env = self._env(relational_translation, rule)
+        rule.do_any_good(env)
+        # engine writes the optimized input costs before post-opt
+        env.descriptors["D4"]["cost"] = 3.0
+        env.descriptors["D2"]["cost"] = 2.0
+        # D4.num_records came from D1 via the pre-opt copy (10.0)
+        assert rule.cost(env) == pytest.approx(3.0 + 10.0 * 2.0)

@@ -1,0 +1,209 @@
+"""Unit tests for workload generation (catalogs, expressions, queries)."""
+
+import pytest
+
+from repro.algebra.expressions import interior_nodes, leaves
+from repro.catalog.predicates import conjuncts
+from repro.errors import AlgebraError
+from repro.workloads.catalogs import (
+    class_name,
+    join_attr,
+    make_experiment_catalog,
+    reference_attr,
+    selection_attr,
+    target_name,
+)
+from repro.workloads.expressions import (
+    build_e1,
+    build_e2,
+    build_e3,
+    build_e4,
+    build_expression,
+    linear_join_predicate,
+    selection_conjunction,
+)
+from repro.workloads.queries import QUERIES, make_query_instance
+from repro.workloads.trees import TreeBuilder
+
+
+class TestCatalogs:
+    def test_class_count(self):
+        catalog = make_experiment_catalog(3, with_targets=False)
+        assert len(catalog) == 3
+
+    def test_targets_added(self):
+        catalog = make_experiment_catalog(3, with_targets=True)
+        assert len(catalog) == 6
+        assert "T2" in catalog
+
+    def test_indices_on_selection_attr(self):
+        catalog = make_experiment_catalog(2, with_indices=True, with_targets=False)
+        for i in (1, 2):
+            info = catalog[class_name(i)]
+            assert info.has_index_on(selection_attr(i))
+
+    def test_no_indices_by_default(self):
+        catalog = make_experiment_catalog(2, with_targets=False)
+        assert not catalog["C1"].indices
+
+    def test_reference_attrs_point_at_targets(self):
+        catalog = make_experiment_catalog(2, with_targets=True)
+        assert catalog["C1"].references == {reference_attr(1): target_name(1)}
+
+    def test_cardinalities_vary_by_instance(self):
+        a = make_experiment_catalog(3, instance=0, with_targets=False)
+        b = make_experiment_catalog(3, instance=1, with_targets=False)
+        assert any(
+            a[class_name(i)].cardinality != b[class_name(i)].cardinality
+            for i in (1, 2, 3)
+        )
+
+    def test_instances_deterministic(self):
+        a = make_experiment_catalog(3, instance=2, with_targets=False)
+        b = make_experiment_catalog(3, instance=2, with_targets=False)
+        assert [f.cardinality for f in a] == [f.cardinality for f in b]
+
+    def test_fixed_cardinality(self):
+        catalog = make_experiment_catalog(
+            2, with_targets=False, fixed_cardinality=123
+        )
+        assert all(catalog[class_name(i)].cardinality == 123 for i in (1, 2))
+
+    def test_identity_attrs_on_targets(self):
+        catalog = make_experiment_catalog(1, with_targets=True)
+        assert catalog["T1"].identity_attr == "t1_id"
+
+
+class TestExpressions:
+    @pytest.fixture()
+    def builder(self, schema):
+        return TreeBuilder(schema, make_experiment_catalog(4, with_targets=True))
+
+    def test_e1_shape(self, builder):
+        tree = build_e1(builder, 3)
+        ops = [n.op.name for n in interior_nodes(tree)]
+        assert ops.count("JOIN") == 3
+        assert ops.count("RET") == 4
+        assert len(list(leaves(tree))) == 4
+
+    def test_e2_adds_mats(self, builder):
+        tree = build_e2(builder, 3)
+        ops = [n.op.name for n in interior_nodes(tree)]
+        assert ops.count("MAT") == 4
+        assert ops.count("JOIN") == 3
+
+    def test_e3_has_select_root(self, builder):
+        tree = build_e3(builder, 2)
+        assert tree.op.name == "SELECT"
+        inner_ops = {n.op.name for n in interior_nodes(tree)}
+        assert "MAT" not in inner_ops
+
+    def test_e4_has_select_root_and_mats(self, builder):
+        tree = build_e4(builder, 2)
+        assert tree.op.name == "SELECT"
+        assert "MAT" in {n.op.name for n in interior_nodes(tree)}
+
+    def test_left_deep_chain(self, builder):
+        tree = build_e1(builder, 3)
+        # left input of each JOIN is the deeper subtree
+        node = tree
+        depth = 0
+        while node.op.name == "JOIN":
+            depth += 1
+            node = node.inputs[0]
+        assert depth == 3
+
+    def test_selection_conjunction_one_per_class(self):
+        pred = selection_conjunction(4)
+        assert len(conjuncts(pred)) == 4
+
+    def test_linear_join_predicates(self):
+        pred = linear_join_predicate(2)
+        assert str(pred) == f"{join_attr(2)} = {join_attr(3)}"
+
+    def test_unknown_template_rejected(self, builder):
+        with pytest.raises(AlgebraError):
+            build_expression(builder, "E9", 2)
+
+    def test_zero_joins_rejected(self, builder):
+        with pytest.raises(AlgebraError):
+            build_e1(builder, 0)
+
+    def test_descriptors_initialized(self, builder):
+        tree = build_e1(builder, 2)
+        for node in interior_nodes(tree):
+            assert node.descriptor["num_records"] > 0
+            assert node.descriptor["attributes"]
+
+
+class TestQueries:
+    def test_eight_families(self):
+        assert sorted(QUERIES) == [f"Q{i}" for i in range(1, 9)]
+
+    def test_spec_flags(self):
+        assert not QUERIES["Q1"].with_indices
+        assert QUERIES["Q2"].with_indices
+        assert QUERIES["Q3"].uses_mat
+        assert QUERIES["Q5"].uses_select
+        assert QUERIES["Q7"].uses_mat and QUERIES["Q7"].uses_select
+
+    def test_make_query_instance(self, schema):
+        catalog, tree = make_query_instance(schema, "Q5", n_joins=2, instance=0)
+        assert tree.op.name == "SELECT"
+        assert "C3" in catalog
+
+    def test_indices_follow_spec(self, schema):
+        catalog, _ = make_query_instance(schema, "Q6", n_joins=1, instance=0)
+        assert catalog["C1"].indices
+        catalog, _ = make_query_instance(schema, "Q5", n_joins=1, instance=0)
+        assert not catalog["C1"].indices
+
+    def test_targets_only_for_mat_queries(self, schema):
+        catalog, _ = make_query_instance(schema, "Q1", n_joins=1, instance=0)
+        assert "T1" not in catalog
+        catalog, _ = make_query_instance(schema, "Q3", n_joins=1, instance=0)
+        assert "T1" in catalog
+
+    def test_unknown_query_rejected(self, schema):
+        with pytest.raises(AlgebraError):
+            make_query_instance(schema, "Q99", n_joins=1)
+
+    def test_instances_differ(self, schema):
+        cat_a, _ = make_query_instance(schema, "Q1", 2, instance=0)
+        cat_b, _ = make_query_instance(schema, "Q1", 2, instance=1)
+        assert any(
+            cat_a[name].cardinality != cat_b[name].cardinality
+            for name in cat_a.names
+        )
+
+
+class TestTreeBuilder:
+    def test_mat_unknown_attribute_rejected(self, schema):
+        builder = TreeBuilder(schema, make_experiment_catalog(1, with_targets=True))
+        with pytest.raises(AlgebraError):
+            builder.mat(builder.ret("C1"), "nonexistent")
+
+    def test_unnest_unknown_attribute_rejected(self, schema):
+        builder = TreeBuilder(schema, make_experiment_catalog(1, with_targets=True))
+        with pytest.raises(AlgebraError):
+            builder.unnest(builder.ret("C1"), "nope")
+
+    def test_project_unknown_attribute_rejected(self, schema):
+        builder = TreeBuilder(schema, make_experiment_catalog(1, with_targets=True))
+        with pytest.raises(AlgebraError):
+            builder.project(builder.ret("C1"), ("ghost",))
+
+    def test_join_attrs_union(self, schema):
+        builder = TreeBuilder(schema, make_experiment_catalog(2, with_targets=False))
+        tree = build_e1(builder, 1)
+        assert set(tree.descriptor["attributes"]) == set(
+            builder.catalog["C1"].attributes
+        ) | set(builder.catalog["C2"].attributes)
+
+    def test_mat_annotations(self, schema):
+        builder = TreeBuilder(schema, make_experiment_catalog(1, with_targets=True))
+        ret = builder.ret("C1")
+        mat = builder.mat(ret, "r1")
+        assert mat.descriptor["num_records"] == ret.descriptor["num_records"]
+        assert mat.descriptor["tuple_size"] > ret.descriptor["tuple_size"]
+        assert "t1_x" in mat.descriptor["attributes"]
