@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Hot-path benchmark for the Volcano search engine (BENCH_search.json).
+
+Times every paper query (Q1–Q8) under four legs:
+
+* ``baseline``   — the seed-equivalent hot path: ``use_rule_index=False``
+  plus the projection and statistics caches switched off;
+* ``optimized``  — all engine fast paths on (the defaults);
+* ``cache_cold`` — optimized, with a :class:`PlanCache` attached, first
+  call (pays the search plus the cache store);
+* ``cache_warm`` — the same optimizer asked the same query again (pure
+  cache hit).
+
+All legs must agree on the best cost — the fast paths are pure
+performance work, so any divergence is a bug and aborts the run.  Legs
+are *interleaved* across repeats (baseline, optimized, cold, warm, then
+again) and the per-leg minimum is reported, which suppresses scheduler
+noise far better than timing each leg in one block.
+
+Standalone on purpose (argparse, not pytest-benchmark): CI runs
+``--quick`` as a smoke test, and the checked-in ``BENCH_search.json`` is
+produced by this script.
+
+Usage::
+
+    python benchmarks/bench_perf_search.py --quick
+    python benchmarks/bench_perf_search.py --full --output BENCH_search.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.algebra.descriptors import set_projection_cache_enabled  # noqa: E402
+from repro.bench.harness import ExperimentConfig, build_optimizer_pair  # noqa: E402
+from repro.bench.timing import time_callable  # noqa: E402
+from repro.catalog.statistics import set_stats_cache_enabled  # noqa: E402
+from repro.volcano.plancache import PlanCache  # noqa: E402
+from repro.volcano.search import SearchOptions, VolcanoOptimizer  # noqa: E402
+from repro.workloads.queries import QUERIES, make_query_instance  # noqa: E402
+
+QIDS = tuple(QUERIES)
+LEGS = ("baseline", "optimized", "cache_cold", "cache_warm")
+
+#: Warm-cache calls are sub-millisecond; a single timing would be all
+#: clock granularity, so the warm leg reports the best of this many.
+WARM_CALLS = 5
+
+
+def _set_descriptor_caches(enabled: bool) -> None:
+    set_projection_cache_enabled(enabled)
+    set_stats_cache_enabled(enabled)
+
+
+def measure_query(
+    pair, qid: str, n_joins: int, repeats: int
+) -> dict:
+    """One (query, size) point: best-of-``repeats`` seconds per leg."""
+    ruleset = pair.generated
+    catalog, tree = make_query_instance(pair.schema, qid, n_joins, 0)
+
+    baseline_opt = VolcanoOptimizer(
+        ruleset, catalog, options=SearchOptions(use_rule_index=False)
+    )
+    fast_opt = VolcanoOptimizer(ruleset, catalog)
+    cache = PlanCache()
+    cached_opt = VolcanoOptimizer(ruleset, catalog, plan_cache=cache)
+
+    best = {leg: float("inf") for leg in LEGS}
+    costs = {}
+    for _ in range(repeats):
+        _set_descriptor_caches(False)
+        seconds, result = time_callable(lambda: baseline_opt.optimize(tree), 1)
+        best["baseline"] = min(best["baseline"], seconds)
+        costs["baseline"] = result.cost
+
+        _set_descriptor_caches(True)
+        seconds, result = time_callable(lambda: fast_opt.optimize(tree), 1)
+        best["optimized"] = min(best["optimized"], seconds)
+        costs["optimized"] = result.cost
+
+        cache.invalidate()  # a genuinely cold start every repeat
+        seconds, result = time_callable(lambda: cached_opt.optimize(tree), 1)
+        best["cache_cold"] = min(best["cache_cold"], seconds)
+        costs["cache_cold"] = result.cost
+        assert result.stats.plan_cache_misses == 1
+
+        seconds, result = time_callable(
+            lambda: cached_opt.optimize(tree), WARM_CALLS
+        )
+        best["cache_warm"] = min(best["cache_warm"], seconds)
+        costs["cache_warm"] = result.cost
+        assert result.stats.plan_cache_hits == 1
+
+    reference = costs["baseline"]
+    for leg, cost in costs.items():
+        if abs(cost - reference) > 1e-9 * max(1.0, abs(reference)):
+            raise AssertionError(
+                f"{qid} n={n_joins}: leg {leg!r} found cost {cost}, "
+                f"baseline found {reference} — fast paths must not change "
+                f"the plan"
+            )
+
+    return {
+        "qid": qid,
+        "n_joins": n_joins,
+        "cost": reference,
+        "seconds": {leg: best[leg] for leg in LEGS},
+        "speedup_optimized": best["baseline"] / best["optimized"],
+        "speedup_warm_cache": best["optimized"] / best["cache_warm"],
+        "plan_cache": cache.stats(),
+    }
+
+
+def run(mode: str, repeats: int, progress=print) -> dict:
+    config = (
+        ExperimentConfig.full() if mode == "full" else ExperimentConfig.quick()
+    )
+    points = []
+    for qid in QIDS:
+        n_joins = config.max_joins[QUERIES[qid].template]
+        progress(f"{qid} (n={n_joins}) ...")
+        point = measure_query(build_optimizer_pair("oodb"), qid, n_joins, repeats)
+        progress(
+            f"  baseline={point['seconds']['baseline']:.4f}s "
+            f"optimized={point['seconds']['optimized']:.4f}s "
+            f"warm={point['seconds']['cache_warm']:.6f}s "
+            f"speedup={point['speedup_optimized']:.2f}x "
+            f"warm-speedup={point['speedup_warm_cache']:.0f}x"
+        )
+        points.append(point)
+    hot = [p for p in points if p["qid"] in ("Q7", "Q8")]
+    return {
+        "benchmark": "bench_perf_search",
+        "mode": mode,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "legs": {
+            "baseline": "use_rule_index=False, projection+stats caches off "
+            "(seed-equivalent hot path)",
+            "optimized": "rule index, fired bitmasks, descriptor fast "
+            "paths, pure-helper memos (defaults)",
+            "cache_cold": "optimized + PlanCache attached, empty cache",
+            "cache_warm": "optimized + PlanCache hit",
+        },
+        "queries": points,
+        "summary": {
+            "q7_q8_min_speedup_optimized": min(
+                p["speedup_optimized"] for p in hot
+            ),
+            "min_speedup_warm_cache": min(
+                p["speedup_warm_cache"] for p in points
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--quick",
+        action="store_true",
+        help="small join counts (default; suitable as a CI smoke test)",
+    )
+    group.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale join counts (minutes)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="interleaved repeats per leg (minimum is reported; default 3)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    mode = "full" if args.full else "quick"
+    report = run(mode, args.repeats, progress=lambda msg: print(msg, flush=True))
+    payload = json.dumps(report, indent=2, sort_keys=False) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.output}")
+    else:
+        print(payload, end="")
+
+    floor = report["summary"]["q7_q8_min_speedup_optimized"]
+    warm = report["summary"]["min_speedup_warm_cache"]
+    print(
+        f"Q7/Q8 rule-index+caches speedup: {floor:.2f}x; "
+        f"warm plan cache: {warm:.0f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,25 @@ from typing import Any, Iterator, Mapping
 from repro.algebra.properties import DescriptorSchema, DONT_CARE
 from repro.errors import DescriptorError
 
-_RESERVED = frozenset({"_schema", "_values"})
+_RESERVED = frozenset({"_schema", "_values", "_proj_cache"})
+
+# Process-wide switch for the projection cache.  The Volcano engine hashes
+# descriptors through :meth:`Descriptor.project` on every memo insert and
+# winner lookup, so projections of unchanged descriptors are memoized;
+# the switch exists so benchmarks can measure the legacy (uncached) path.
+_PROJECTION_CACHE_ENABLED = True
+
+
+def set_projection_cache_enabled(enabled: bool) -> bool:
+    """Globally enable/disable projection caching; returns the old value."""
+    global _PROJECTION_CACHE_ENABLED
+    previous = _PROJECTION_CACHE_ENABLED
+    _PROJECTION_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def projection_cache_enabled() -> bool:
+    return _PROJECTION_CACHE_ENABLED
 
 
 class Descriptor:
@@ -30,7 +48,7 @@ class Descriptor:
     DSL interpreter address properties by name strings.
     """
 
-    __slots__ = ("_schema", "_values")
+    __slots__ = ("_schema", "_values", "_proj_cache")
 
     def __init__(
         self,
@@ -39,6 +57,7 @@ class Descriptor:
     ) -> None:
         object.__setattr__(self, "_schema", schema)
         object.__setattr__(self, "_values", schema.defaults())
+        object.__setattr__(self, "_proj_cache", None)
         if values:
             for name, value in values.items():
                 self[name] = value
@@ -60,6 +79,8 @@ class Descriptor:
             raise DescriptorError(f"unknown property {name!r}")
         self._schema.validate_value(name, value)
         self._values[name] = value
+        if self._proj_cache is not None:
+            object.__setattr__(self, "_proj_cache", None)
 
     def __contains__(self, name: str) -> bool:
         return name in self._values
@@ -100,10 +121,16 @@ class Descriptor:
     # -- copy semantics ----------------------------------------------------
 
     def copy(self) -> "Descriptor":
-        """A flat copy sharing the schema (``D_new = D_old;`` in rules)."""
+        """A flat copy sharing the schema (``D_new = D_old;`` in rules).
+
+        The cached projection carries over (it is an immutable tuple, so
+        the clone shares it directly): the clone's values are identical
+        until its first write, which invalidates its (private) cache.
+        """
         clone = Descriptor.__new__(Descriptor)
         object.__setattr__(clone, "_schema", self._schema)
         object.__setattr__(clone, "_values", dict(self._values))
+        object.__setattr__(clone, "_proj_cache", self._proj_cache)
         return clone
 
     def assign_from(self, other: "Descriptor") -> None:
@@ -119,6 +146,8 @@ class Descriptor:
             raise DescriptorError("cannot assign descriptors across schemas")
         self._values.clear()
         self._values.update(other._values)
+        if self._proj_cache is not None:
+            object.__setattr__(self, "_proj_cache", None)
 
     # -- projections used by P2V / the Volcano engine ----------------------
 
@@ -128,12 +157,36 @@ class Descriptor:
         Used by the memo table to extract the operator-argument part of a
         descriptor, and by physical-property vectors.  List values are
         frozen to tuples so the projection is hashable.
+
+        The last projection is cached (a single ``(names, projection)``
+        slot) until the next write (``__setitem__`` / ``assign_from``);
+        the engine projects the same schema-stable names tuple against
+        unchanged descriptors constantly, and a single slot keeps the
+        bookkeeping overhead negligible for the many descriptors that are
+        projected exactly once.  The cache assumes values are never
+        mutated in place — all rule actions go through the write paths
+        above.
         """
+        if _PROJECTION_CACHE_ENABLED:
+            cached = self._proj_cache
+            if cached is not None and (cached[0] is names or cached[0] == names):
+                return cached[1]
         values = self._values
-        return tuple(
-            tuple(value) if type(value) is list else value
-            for value in (values.get(name, DONT_CARE) for name in names)
-        )
+        # Every write path preserves the schema's full key set (defaults()
+        # seeds it, __setitem__ validates membership, assign_from and the
+        # compiled actions overwrite in place), so direct subscripting is
+        # safe; the except path covers hand-built mappings in tests.
+        try:
+            out = [values[name] for name in names]
+        except KeyError:
+            out = [values.get(name, DONT_CARE) for name in names]
+        for i, value in enumerate(out):
+            if type(value) is list:
+                out[i] = tuple(value)
+        projection = tuple(out)
+        if _PROJECTION_CACHE_ENABLED:
+            object.__setattr__(self, "_proj_cache", (names, projection))
+        return projection
 
     def as_dict(self) -> dict[str, Any]:
         """A plain-dict snapshot of the current values."""

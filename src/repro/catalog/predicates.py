@@ -66,6 +66,19 @@ class Comparison:
         if self.op not in _COMPARATORS:
             raise AlgebraError(f"unknown comparison operator {self.op!r}")
 
+    def __hash__(self) -> int:
+        # Predicates live inside descriptor projections, which key the
+        # memo's duplicate-elimination index and the statistics memo —
+        # they are re-hashed constantly.  The generated dataclass hash
+        # recomputes the field tuple every call; cache it per instance
+        # (process-local: hash() of strings is salted per process, so the
+        # cached value must never be serialized).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.left, self.op, self.right))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
 
@@ -92,6 +105,14 @@ class Conjunction:
     """
 
     terms: tuple[Comparison, ...] = ()
+
+    def __hash__(self) -> int:
+        # Same per-instance cache as Comparison (see there for why).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.terms)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:
         if not self.terms:

@@ -128,14 +128,32 @@ class Catalog:
     def __init__(self, files: "Iterable[StoredFileInfo] | None" = None) -> None:
         self._files: dict[str, StoredFileInfo] = {}
         self._attr_index: "dict[str, StoredFileInfo | None] | None" = None
+        self._version = 0
+        # Memo table for derived statistics (selectivities, distinct-value
+        # estimates); owned by the catalog so any mutation drops it along
+        # with the version bump.  Filled by repro.catalog.statistics.
+        self._stats_cache: dict = {}
         for info in files or []:
             self.add(info)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Every structural change (currently: adding a file) bumps it.
+        Cross-query caches (:mod:`repro.volcano.plancache`) key on the
+        version so plans computed against an older catalog state are
+        never served after the catalog changed.
+        """
+        return self._version
 
     def add(self, info: StoredFileInfo) -> StoredFileInfo:
         if info.name in self._files:
             raise CatalogError(f"duplicate stored file {info.name!r}")
         self._files[info.name] = info
         self._attr_index = None
+        self._version += 1
+        self._stats_cache.clear()
         return info
 
     def __getitem__(self, name: str) -> StoredFileInfo:

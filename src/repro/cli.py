@@ -99,6 +99,16 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--quiet", action="store_true", help="suppress search statistics"
     )
+    optimize.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help="run the optimization under cProfile and print the top N "
+        "functions by cumulative time (default 25)",
+    )
     return parser
 
 
@@ -201,7 +211,21 @@ def _cmd_optimize(args, out) -> int:
         optimizer.options = options
     else:
         optimizer = VolcanoOptimizer(ruleset, catalog, options=options)
-    result = optimizer.optimize(tree)
+    if args.profile is not None:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(optimizer.optimize, tree)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(
+            max(1, args.profile)
+        )
+        out.write(buffer.getvalue())
+    else:
+        result = optimizer.optimize(tree)
     out.write(explain(result, verbose=not args.quiet) + "\n")
     if args.memo:
         out.write("\nmemo:\n" + explain_memo(result) + "\n")

@@ -20,9 +20,37 @@ from repro.catalog.statistics import (
     indexable_conjuncts,
     join_selectivity,
     selection_selectivity,
+    stats_cache_enabled,
 )
 from repro.optimizers import costmodel
 from repro.prairie.helpers import HelperRegistry, default_helpers
+
+# Memo tables for the pure predicate helpers below.  Rule actions call
+# these on every application with a handful of distinct predicates per
+# query, and predicates are immutable/hashable by design, so memoization
+# is safe; it shares the statistics-cache switch so the perf harness can
+# measure the uncached path.  Bounded defensively — a pathological
+# workload simply stops memoizing instead of growing without limit.
+_PURE_MEMO: dict = {}
+_PURE_MEMO_LIMIT = 1 << 16
+
+
+def _pure_memo_get(key):
+    if not stats_cache_enabled():
+        return None
+    try:
+        return _PURE_MEMO.get(key)
+    except TypeError:
+        return None
+
+
+def _pure_memo_put(key, value):
+    if stats_cache_enabled() and len(_PURE_MEMO) < _PURE_MEMO_LIMIT:
+        try:
+            _PURE_MEMO[key] = value
+        except TypeError:
+            pass
+    return value
 
 
 def _pred(value: Any):
@@ -43,7 +71,12 @@ def _canon(pred):
     atoms = preds.conjuncts(pred)
     if len(atoms) <= 1:
         return pred
-    return preds.conjoin(*sorted(atoms, key=str))
+    hit = _pure_memo_get(("canon", pred))
+    if hit is not None:
+        return hit
+    return _pure_memo_put(
+        ("canon", pred), preds.conjoin(*sorted(atoms, key=str))
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -53,19 +86,33 @@ def _canon(pred):
 
 def conjoin_preds(a: Any, b: Any):
     """AND of two (possibly DONT_CARE) predicates, canonically ordered."""
-    return _canon(preds.conjoin(_pred(a), _pred(b)))
+    pa, pb = _pred(a), _pred(b)
+    key = ("conj", pa, pb)
+    hit = _pure_memo_get(key)
+    if hit is not None:
+        return hit
+    return _pure_memo_put(key, _canon(preds.conjoin(pa, pb)))
+
+
+def _split(pred: Any, attrs: Any):
+    """Memoized (inside, outside) split of a conjunction by attribute set."""
+    p, a = _pred(pred), tuple(attrs)
+    key = ("split", p, a)
+    hit = _pure_memo_get(key)
+    if hit is not None:
+        return hit
+    inside, outside = preds.split_by_attributes(p, a)
+    return _pure_memo_put(key, (_canon(inside), _canon(outside)))
 
 
 def pred_within(pred: Any, attrs: Any):
     """Conjuncts whose attributes are all contained in ``attrs``."""
-    inside, _outside = preds.split_by_attributes(_pred(pred), tuple(attrs))
-    return _canon(inside)
+    return _split(pred, attrs)[0]
 
 
 def pred_remainder(pred: Any, attrs: Any):
     """Conjuncts referencing at least one attribute outside ``attrs``."""
-    _inside, outside = preds.split_by_attributes(_pred(pred), tuple(attrs))
-    return _canon(outside)
+    return _split(pred, attrs)[1]
 
 
 def pred_nonempty(pred: Any) -> bool:
@@ -171,8 +218,28 @@ def pred_rest(pred: Any):
     return _canon(preds.conjoin(*atoms[1:])) if len(atoms) > 1 else preds.TRUE
 
 
+_MISS = object()
+
+
 def _reference_target(ctx: Any, attr: str) -> "str | None":
-    """Referenced class name when ``attr`` is a reference attribute."""
+    """Referenced class name when ``attr`` is a reference attribute.
+
+    Memoized on the catalog's statistics cache (dropped on mutation):
+    ``StoredFileInfo.references`` builds a fresh mapping per call, and
+    MAT-rule conditions probe the same few attributes constantly.
+    """
+    if stats_cache_enabled():
+        cache = ctx.catalog._stats_cache
+        key = ("ref", attr)
+        hit = cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        cache[key] = target = _reference_target_uncached(ctx, attr)
+        return target
+    return _reference_target_uncached(ctx, attr)
+
+
+def _reference_target_uncached(ctx: Any, attr: str) -> "str | None":
     try:
         owner = ctx.catalog.file_of_attribute(attr)
     except Exception:  # noqa: BLE001 - unknown attribute → not a reference
@@ -182,6 +249,18 @@ def _reference_target(ctx: Any, attr: str) -> "str | None":
 
 def mat_attrs(ctx: Any, attr: str):
     """Attributes gained by materializing reference attribute ``attr``."""
+    if stats_cache_enabled():
+        cache = ctx.catalog._stats_cache
+        key = ("mat_attrs", attr)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        cache[key] = result = _mat_attrs_uncached(ctx, attr)
+        return result
+    return _mat_attrs_uncached(ctx, attr)
+
+
+def _mat_attrs_uncached(ctx: Any, attr: str):
     target = _reference_target(ctx, attr)
     if target is None:
         return ()
@@ -190,6 +269,18 @@ def mat_attrs(ctx: Any, attr: str):
 
 def mat_size(ctx: Any, attr: str) -> float:
     """Tuple-size increase from materializing reference attribute ``attr``."""
+    if stats_cache_enabled():
+        cache = ctx.catalog._stats_cache
+        key = ("mat_size", attr)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        cache[key] = result = _mat_size_uncached(ctx, attr)
+        return result
+    return _mat_size_uncached(ctx, attr)
+
+
+def _mat_size_uncached(ctx: Any, attr: str) -> float:
     target = _reference_target(ctx, attr)
     if target is None:
         return 0.0

@@ -36,6 +36,8 @@ from repro.algebra.properties import DONT_CARE
 from repro.errors import ActionError, RuleError
 from repro.prairie.helpers import HelperRegistry
 
+_MEMBERSHIP_READY = (frozenset, set, type({}.keys()))
+
 # ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
@@ -154,6 +156,37 @@ def expr_descriptor_reads(expr: Expr) -> frozenset[str]:
 # ---------------------------------------------------------------------------
 
 
+class LazyFreshDescriptors(dict):
+    """A descriptor namespace that materializes declared fresh
+    descriptors on first access.
+
+    The search engine builds one environment per match binding, but most
+    bindings fail the rule's condition without ever touching the rule's
+    fresh right-hand-side descriptors — creating those eagerly is
+    measurable on the search hot path.  ``__missing__`` makes the lazy
+    creation transparent to every access pattern rule code uses,
+    including direct ``env.descriptors[name]`` subscription.
+    """
+
+    __slots__ = ("_fresh", "_schema")
+
+    def __init__(
+        self,
+        bound: Mapping[str, Descriptor],
+        fresh: Iterable[str],
+        schema: Any,
+    ) -> None:
+        super().__init__(bound)
+        self._fresh = fresh
+        self._schema = schema
+
+    def __missing__(self, name: str) -> Descriptor:
+        if name in self._fresh:
+            value = self[name] = Descriptor(self._schema)
+            return value
+        raise KeyError(name)
+
+
 class ActionEnv:
     """Execution environment for rule actions and tests.
 
@@ -171,10 +204,26 @@ class ActionEnv:
         context: Any = None,
         readonly: Iterable[str] = (),
     ) -> None:
-        self.descriptors = dict(descriptors)
+        # A LazyFreshDescriptors is adopted as-is (the engine builds one
+        # per binding and hands over ownership); any other mapping is
+        # defensively copied, as rule actions mutate the namespace.
+        self.descriptors = (
+            descriptors
+            if type(descriptors) is LazyFreshDescriptors
+            else dict(descriptors)
+        )
         self.helpers = helpers
         self.context = context
-        self.readonly = frozenset(readonly)
+        # ``readonly`` only ever serves membership tests; dict key views
+        # and sets support those directly, so the engine's per-binding
+        # ``bound.keys()`` argument is adopted without building a
+        # frozenset (one environment is created per match binding).
+        # Concrete-type checks on purpose: an ABC isinstance would cost
+        # more than the frozenset it avoids.
+        if type(readonly) in _MEMBERSHIP_READY:
+            self.readonly = readonly
+        else:
+            self.readonly = frozenset(readonly)
 
     def descriptor(self, name: str) -> Descriptor:
         try:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.algebra.descriptors import Descriptor
 from repro.algebra.properties import DONT_CARE
 from repro.errors import TranslationError
 from repro.prairie.actions import (
@@ -67,12 +68,47 @@ _BINOP_SOURCE = {
 }
 
 
-class _Emitter:
-    """Collects generated source plus the globals it references."""
+def _raw_copy(source: Descriptor) -> Descriptor:
+    """A value copy for the optimized ``D_new = D_old;`` codegen.
 
-    def __init__(self, helpers: HelperRegistry) -> None:
+    Unlike :meth:`Descriptor.copy`, the projection cache is dropped:
+    optimized action code writes properties through the raw ``_values``
+    backdoor (no invalidation hook), so the clone must start uncached.
+    """
+    clone = Descriptor.__new__(Descriptor)
+    object.__setattr__(clone, "_schema", source._schema)
+    object.__setattr__(clone, "_values", dict(source._values))
+    object.__setattr__(clone, "_proj_cache", None)
+    return clone
+
+
+class _Emitter:
+    """Collects generated source plus the globals it references.
+
+    With ``optimize=True`` the emitter hoists each descriptor's ``_values``
+    dict into a function-local variable at first use (rule actions touch
+    the same few descriptors many times), and compiles whole-descriptor
+    assignment to a raw value copy instead of default-construction plus
+    overwrite.  The generated behaviour is identical; only the legacy
+    (seed-equivalent) form is used when the engine's rule-index fast path
+    is off, so benchmarks can measure the difference.
+    """
+
+    def __init__(self, helpers: HelperRegistry, optimize: bool = False) -> None:
         self.helpers = helpers
         self.globals: dict[str, Any] = {"DONT_CARE": DONT_CARE}
+        self.optimize = optimize
+        self._locals: dict[str, str] = {}
+        self._pending: "list[str]" = []
+
+    def _values_local(self, desc: str) -> str:
+        """The local variable holding ``_d[desc]._values`` (hoisted)."""
+        var = self._locals.get(desc)
+        if var is None:
+            var = f"_v_{desc}"
+            self._locals[desc] = var
+            self._pending.append(f"{var} = _d[{desc!r}]._values")
+        return var
 
     def expr(self, node: Expr) -> str:
         if isinstance(node, Lit):
@@ -88,6 +124,8 @@ class _Emitter:
         if isinstance(node, DescRef):
             return f"_d[{node.desc!r}]"
         if isinstance(node, PropRef):
+            if self.optimize:
+                return f"{self._values_local(node.desc)}[{node.prop!r}]"
             return f"_d[{node.desc!r}]._values[{node.prop!r}]"
         if isinstance(node, Call):
             fn_name = f"_h_{node.func}"
@@ -110,17 +148,37 @@ class _Emitter:
             return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
         raise TranslationError(f"cannot compile expression {node!r}")
 
-    def statement(self, stmt: "AssignProp | AssignDesc") -> str:
+    def statement(self, stmt: "AssignProp | AssignDesc") -> "list[str]":
+        self._pending = []
         if isinstance(stmt, AssignProp):
-            return (
-                f"_d[{stmt.desc!r}]._values[{stmt.prop!r}] = {self.expr(stmt.expr)}"
-            )
+            expr_src = self.expr(stmt.expr)
+            if self.optimize:
+                target = self._values_local(stmt.desc)
+                return [*self._pending, f"{target}[{stmt.prop!r}] = {expr_src}"]
+            return [f"_d[{stmt.desc!r}]._values[{stmt.prop!r}] = {expr_src}"]
         if isinstance(stmt, AssignDesc):
+            expr_src = self.expr(stmt.expr)
+            if self.optimize:
+                # Default-constructing the target just to overwrite every
+                # value is wasted work: bind a raw value copy instead,
+                # and repoint the hoisted local at the new dict.
+                if "_rawcopy" not in self.globals:
+                    self.globals["_rawcopy"] = _raw_copy
+                lines = [
+                    *self._pending,
+                    f"_d[{stmt.desc!r}] = _new = _rawcopy({expr_src})",
+                ]
+                var = self._locals.get(stmt.desc)
+                if var is None:
+                    var = f"_v_{stmt.desc}"
+                    self._locals[stmt.desc] = var
+                lines.append(f"{var} = _new._values")
+                return lines
             # All descriptors share one schema, so every _values dict has
             # the same key set: a plain update is a complete overwrite.
-            return (
-                f"_d[{stmt.desc!r}]._values.update(({self.expr(stmt.expr)})._values)"
-            )
+            return [
+                f"_d[{stmt.desc!r}]._values.update(({expr_src})._values)"
+            ]
         raise TranslationError(f"cannot compile statement {stmt!r}")
 
 
@@ -132,19 +190,25 @@ def _compile(source: str, emitter: _Emitter, name: str) -> Callable:
 
 
 def compile_block(
-    block: ActionBlock, helpers: HelperRegistry, name: str = "block"
+    block: ActionBlock,
+    helpers: HelperRegistry,
+    name: str = "block",
+    optimize: bool = False,
 ) -> Callable[[ActionEnv], None]:
     """Compile an action block to ``fn(env) -> None``.
 
     Falls back to the interpreter when the block contains opaque Python
-    actions (their behaviour cannot be code-generated).
+    actions (their behaviour cannot be code-generated).  ``optimize``
+    selects the hoisted-locals code shape (see :class:`_Emitter`).
     """
     if any(isinstance(stmt, PyAction) for stmt in block):
         return block.execute
     if not block.statements:
         return _noop
-    emitter = _Emitter(helpers)
-    body = [emitter.statement(stmt) for stmt in block.statements]  # type: ignore[arg-type]
+    emitter = _Emitter(helpers, optimize=optimize)
+    body: "list[str]" = []
+    for stmt in block.statements:
+        body.extend(emitter.statement(stmt))  # type: ignore[arg-type]
     lines = [f"def {name}(env):", "    _d = env.descriptors", "    _ctx = env.context"]
     lines.extend(f"    {line}" for line in body)
     return _compile("\n".join(lines), emitter, name)

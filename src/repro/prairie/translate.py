@@ -136,6 +136,12 @@ def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
     run_pre = compile_block(rule.pre_test, helpers, name="pre_test")
     run_test = compile_test(rule.test, helpers, name="test")
     appl_code = compile_block(rule.post_test, helpers, name="appl_code")
+    # A second compilation with the hoisted-locals code shape; the engine
+    # runs it on its rule-index fast path and the legacy form otherwise,
+    # so the two paths stay individually measurable.
+    appl_code_fast = compile_block(
+        rule.post_test, helpers, name="appl_code", optimize=True
+    )
 
     if not rule.pre_test.statements:
         cond_code = run_test
@@ -151,6 +157,7 @@ def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
         rhs=rule.rhs,
         cond_code=cond_code,
         appl_code=appl_code,
+        appl_code_fast=appl_code_fast,
         doc=rule.doc,
     )
 

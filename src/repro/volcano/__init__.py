@@ -18,6 +18,10 @@ This package reimplements the relevant Volcano machinery in Python:
 * :mod:`repro.volcano.search` — the top-down optimization strategy with
   memoized winners per (group, required-properties) pair and
   branch-and-bound pruning.
+* :mod:`repro.volcano.plancache` — the cross-query plan cache: finished
+  optimizations keyed by canonical tree fingerprint, required vector,
+  rule set, and catalog version, so a reused optimizer answers repeated
+  queries without searching.
 """
 
 from repro.volcano.properties import (
@@ -43,9 +47,12 @@ from repro.volcano.search import (
 from repro.volcano.bottomup import BottomUpOptimizer
 from repro.volcano.explain import explain, explain_memo, explain_plan
 from repro.volcano.normalize import normalize_query, optimize_normalized
+from repro.volcano.plancache import PlanCache, tree_fingerprint
 
 __all__ = [
     "BottomUpOptimizer",
+    "PlanCache",
+    "tree_fingerprint",
     "SearchOptions",
     "explain",
     "explain_memo",

@@ -30,7 +30,7 @@ from repro.algebra.expressions import Expression, StoredFileRef
 from repro.errors import SearchError
 
 
-@dataclass
+@dataclass(slots=True)
 class MExpr:
     """One memo expression: an operator over input groups, or a file leaf.
 
@@ -39,6 +39,10 @@ class MExpr:
     the expression's full Prairie descriptor: argument properties give the
     expression its identity; stream-describing properties (cardinalities,
     attributes) inform cost functions.
+
+    ``fired_mask`` is search-engine bookkeeping: a bitmask over the rule
+    set's dense trans-rule ids recording which rules already fired on this
+    m-expr, replacing a global set of ``(rule name, m-expr)`` tuples.
     """
 
     op_name: str
@@ -46,6 +50,7 @@ class MExpr:
     descriptor: Descriptor
     is_file: bool = False
     group_id: int = -1
+    fired_mask: int = 0
 
     def key(self, argument_properties: tuple[str, ...]) -> tuple:
         """The m-expr's identity for duplicate elimination."""
@@ -60,7 +65,7 @@ class MExpr:
         return f"{self.op_name}({args})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Group:
     """An equivalence class: all known logically equivalent m-exprs.
 
@@ -69,12 +74,20 @@ class Group:
     is shared by all members; the memo takes it from the first inserted
     member.  ``winners`` caches the best physical plan found per required
     physical-property vector (filled in by the search engine).
+
+    ``by_op`` indexes the members by operator name (maintained by
+    :meth:`Memo.insert`); nested pattern matching enumerates only the
+    members whose root can possibly match instead of scanning the whole
+    group.  Buckets preserve insertion order, so iterating one visits the
+    same members in the same relative order as a scan of ``mexprs``
+    would — searches driven through the index find bit-identical plans.
     """
 
     gid: int
     logical_descriptor: Descriptor
     mexprs: list[MExpr] = field(default_factory=list)
     winners: dict = field(default_factory=dict)
+    by_op: dict = field(default_factory=dict)
     explored: bool = False
 
     @property
@@ -109,23 +122,61 @@ class Memo:
         self.groups.append(group)
         return group
 
+    def probe(self, key: tuple) -> "MExpr | None":
+        """The canonical m-expr for an identity key, if already known.
+
+        ``key`` must be what :meth:`MExpr.key` would produce for this
+        memo's argument properties.  The search engine's hot path probes
+        before materializing a candidate (descriptor copy + m-expr
+        allocation are wasted work for the many re-derived duplicates).
+        """
+        return self._index.get(key)
+
     def insert(
-        self, mexpr: MExpr, group_id: "int | None" = None
+        self,
+        mexpr: MExpr,
+        group_id: "int | None" = None,
+        allow_cross_group: bool = False,
+        key: "tuple | None" = None,
     ) -> tuple[MExpr, bool]:
         """Insert an m-expr, deduplicating globally.
 
         Returns ``(canonical m-expr, inserted)``.  When the expression is
         already known, the existing m-expr is returned and nothing
-        changes — in particular it is *not* moved between groups (two
-        groups containing a common expression would mean the rule set
-        proved them equal; we keep the original home, which is the
-        standard memo behaviour for this reproduction's rule sets).
-        When new: it is appended to ``group_id`` if given, else to a
-        fresh group whose logical descriptor is the m-expr's descriptor.
+        changes — in particular it is *not* moved between groups.  When
+        new: it is appended to ``group_id`` if given, else to a fresh
+        group whose logical descriptor is the m-expr's descriptor.
+
+        A duplicate that lives in a *different* group than an explicitly
+        requested ``group_id`` raises :class:`SearchError` by default: a
+        caller that merely asserts membership (tests, tools, bulk
+        loaders) would otherwise silently receive a foreign canonical and
+        wire plans across unrelated equivalence classes.  The search
+        engine's rule application is the sanctioned exception — there the
+        fired rule *proves* the two groups logically equal (the memo
+        keeps them separate, the standard behaviour for this
+        reproduction's rule sets) — and opts in via
+        ``allow_cross_group=True``.
+
+        ``key`` may be passed when the caller already computed the
+        m-expr's identity (e.g. for a :meth:`probe`); it must equal
+        ``mexpr.key(self.argument_properties)``.
         """
-        key = mexpr.key(self.argument_properties)
+        if key is None:
+            key = mexpr.key(self.argument_properties)
         existing = self._index.get(key)
         if existing is not None:
+            if (
+                group_id is not None
+                and existing.group_id != group_id
+                and not allow_cross_group
+            ):
+                raise SearchError(
+                    f"m-expr {mexpr} requested for group g{group_id} already "
+                    f"lives in group g{existing.group_id}: cross-group "
+                    f"duplicate (pass allow_cross_group=True only if the "
+                    f"two groups are provably equivalent)"
+                )
             return existing, False
         if group_id is None:
             group = self.new_group(mexpr.descriptor)
@@ -133,6 +184,11 @@ class Memo:
             group = self.group(group_id)
         mexpr.group_id = group.gid
         group.mexprs.append(mexpr)
+        bucket = group.by_op.get(mexpr.op_name)
+        if bucket is None:
+            group.by_op[mexpr.op_name] = [mexpr]
+        else:
+            bucket.append(mexpr)
         self._index[key] = mexpr
         return mexpr, True
 

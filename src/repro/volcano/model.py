@@ -55,6 +55,18 @@ def _side_descriptor_names(side: PatternNode) -> frozenset[str]:
     return frozenset(names)
 
 
+def _input_descriptor_names(side: PatternNode) -> "tuple[str | None, ...]":
+    """Per-input descriptor names of a flat (impl/enforcer) pattern side.
+
+    Resolved once at rule-construction time; the engine reads these on
+    every rule application, so the per-call ``inputs[index]`` chasing is
+    hoisted here.
+    """
+    for var in side.inputs:
+        assert isinstance(var, PatternVar)
+    return tuple(var.descriptor for var in side.inputs)
+
+
 @dataclass
 class TransRule:
     """A Volcano transformation rule over logical expressions.
@@ -69,6 +81,10 @@ class TransRule:
     rhs: PatternNode
     cond_code: CondCode
     appl_code: ApplCode
+    # Optional hoisted-locals recompilation of ``appl_code`` (identical
+    # behaviour, fewer per-statement lookups); the engine runs it on the
+    # rule-index fast path when present.
+    appl_code_fast: "ApplCode | None" = None
     doc: str = ""
 
     def __post_init__(self) -> None:
@@ -77,6 +93,15 @@ class TransRule:
         # Cached: the engine consults these on every rule application.
         self._lhs_desc_names = frozenset(descriptor_names(self.lhs))
         self._rhs_desc_names = frozenset(descriptor_names(self.rhs))
+        # Ordered variant for the engine's fresh-descriptor loop: resolved
+        # here once instead of per application, and deterministic.  Names
+        # already bound by the LHS are excluded — they stay bound to the
+        # matched descriptors (and are read-only for the rule's actions).
+        self._fresh_rhs_names = tuple(
+            name
+            for name in descriptor_names(self.rhs)
+            if name not in self._lhs_desc_names
+        )
 
     @property
     def lhs_descriptor_names(self) -> frozenset[str]:
@@ -85,6 +110,11 @@ class TransRule:
     @property
     def rhs_descriptor_names(self) -> frozenset[str]:
         return self._rhs_desc_names
+
+    @property
+    def fresh_rhs_names(self) -> "tuple[str, ...]":
+        """RHS descriptor names in pattern order (engine fast path)."""
+        return self._fresh_rhs_names
 
     def __str__(self) -> str:
         return f"trans_rule {self.name}: {self.lhs} -> {self.rhs}"
@@ -125,6 +155,8 @@ class ImplRule:
             )
         self._lhs_desc_names = _side_descriptor_names(self.lhs)
         self._rhs_desc_names = _side_descriptor_names(self.rhs)
+        self._lhs_input_descs = _input_descriptor_names(self.lhs)
+        self._rhs_input_descs = _input_descriptor_names(self.rhs)
 
     # -- binding metadata the engine needs ---------------------------------
 
@@ -141,14 +173,10 @@ class ImplRule:
         return self.rhs.descriptor
 
     def lhs_input_desc(self, index: int) -> "str | None":
-        var = self.lhs.inputs[index]
-        assert isinstance(var, PatternVar)
-        return var.descriptor
+        return self._lhs_input_descs[index]
 
     def rhs_input_desc(self, index: int) -> "str | None":
-        var = self.rhs.inputs[index]
-        assert isinstance(var, PatternVar)
-        return var.descriptor
+        return self._rhs_input_descs[index]
 
     @property
     def lhs_descriptor_names(self) -> frozenset[str]:
@@ -194,18 +222,16 @@ class Enforcer:
         return self.rhs.descriptor
 
     def lhs_input_desc(self, index: int) -> "str | None":
-        var = self.lhs.inputs[index]
-        assert isinstance(var, PatternVar)
-        return var.descriptor
+        return self._lhs_input_descs[index]
 
     def rhs_input_desc(self, index: int) -> "str | None":
-        var = self.rhs.inputs[index]
-        assert isinstance(var, PatternVar)
-        return var.descriptor
+        return self._rhs_input_descs[index]
 
     def __post_init__(self) -> None:
         self._lhs_desc_names = _side_descriptor_names(self.lhs)
         self._rhs_desc_names = _side_descriptor_names(self.rhs)
+        self._lhs_input_descs = _input_descriptor_names(self.lhs)
+        self._rhs_input_descs = _input_descriptor_names(self.rhs)
 
     @property
     def lhs_descriptor_names(self) -> frozenset[str]:
@@ -250,6 +276,12 @@ class VolcanoRuleSet:
         self.impl_rules: list[ImplRule] = []
         self.enforcers: list[Enforcer] = []
         self._impl_by_operator: dict[str, list[ImplRule]] = {}
+        # trans_rules indexed by LHS root operator, as (dense id, rule)
+        # pairs.  The dense id is the rule's position in ``trans_rules``;
+        # the search engine uses it as a bit position in per-m-expr fired
+        # masks.  Mirrors ``_impl_by_operator``.
+        self._trans_by_root: dict[str, list[tuple[int, TransRule]]] = {}
+        self._no_trans_entries: list[tuple[int, TransRule]] = []
 
     # -- construction ---------------------------------------------------------
 
@@ -266,7 +298,11 @@ class VolcanoRuleSet:
         return alg
 
     def add_trans_rule(self, rule: TransRule) -> TransRule:
+        dense_id = len(self.trans_rules)
         self.trans_rules.append(rule)
+        self._trans_by_root.setdefault(rule.lhs.op_name, []).append(
+            (dense_id, rule)
+        )
         return rule
 
     def add_impl_rule(self, rule: ImplRule) -> ImplRule:
@@ -282,6 +318,18 @@ class VolcanoRuleSet:
 
     def impl_rules_for(self, operator_name: str) -> list[ImplRule]:
         return self._impl_by_operator.get(operator_name, [])
+
+    def trans_entries_for(
+        self, operator_name: str
+    ) -> "list[tuple[int, TransRule]]":
+        """``(dense id, rule)`` pairs whose LHS root is ``operator_name``.
+
+        Only rules whose pattern root matches an m-expr's operator can
+        possibly bind, so the engine's exploration loop iterates this
+        instead of every trans_rule.  The dense id doubles as the bit
+        position in per-m-expr fired masks.
+        """
+        return self._trans_by_root.get(operator_name, self._no_trans_entries)
 
     def counts(self) -> dict[str, int]:
         """Size summary used by the Section 4.2 productivity comparison."""

@@ -32,7 +32,7 @@ class MatchBinding:
     descriptors: dict[str, Descriptor] = field(default_factory=dict)
 
     def copy(self) -> "MatchBinding":
-        clone = MatchBinding()
+        clone = MatchBinding.__new__(MatchBinding)
         clone.groups = dict(self.groups)
         clone.descriptors = dict(self.descriptors)
         return clone
@@ -40,12 +40,20 @@ class MatchBinding:
 
 ExpandFn = Callable[[int], "list[MExpr]"]
 
+# Optional operator-filtered expansion: (group id, operator name) → the
+# group's members with that root operator, in insertion order.  When the
+# engine supplies it (the rule-index fast path), nested matching skips the
+# scan over members whose root cannot match; the plain ``expand`` callback
+# remains the semantic contract (and the only one tests must provide).
+ExpandOpFn = Callable[[int, str], "list[MExpr]"]
+
 
 def match_mexpr(
     pattern: PatternNode,
     mexpr: MExpr,
     memo: Memo,
     expand: ExpandFn,
+    expand_op: "ExpandOpFn | None" = None,
 ) -> Iterator[MatchBinding]:
     """All bindings of ``pattern`` against ``mexpr`` (possibly several).
 
@@ -57,9 +65,12 @@ def match_mexpr(
     if len(pattern.inputs) != len(mexpr.inputs):
         return
 
-    root = MatchBinding()
-    root.descriptors[pattern.descriptor] = mexpr.descriptor
-    yield from _match_children(pattern.inputs, mexpr.inputs, 0, root, memo, expand)
+    root = MatchBinding.__new__(MatchBinding)
+    root.groups = {}
+    root.descriptors = {pattern.descriptor: mexpr.descriptor}
+    yield from _match_children(
+        pattern.inputs, mexpr.inputs, 0, root, memo, expand, expand_op
+    )
 
 
 def _match_children(
@@ -69,6 +80,7 @@ def _match_children(
     binding: MatchBinding,
     memo: Memo,
     expand: ExpandFn,
+    expand_op: "ExpandOpFn | None",
 ) -> Iterator[MatchBinding]:
     if index == len(patterns):
         yield binding
@@ -76,21 +88,38 @@ def _match_children(
     pattern = patterns[index]
     gid = group_ids[index]
     if isinstance(pattern, PatternVar):
-        extended = binding.copy()
-        extended.groups[pattern.var] = gid
+        # Bindings extend one dict at a time; the untouched dict is
+        # shared with the parent (bindings are read-only to consumers,
+        # so structural sharing is safe and saves a copy per extension).
+        extended = MatchBinding.__new__(MatchBinding)
+        groups = dict(binding.groups)
+        groups[pattern.var] = gid
+        extended.groups = groups
         if pattern.descriptor is not None:
-            extended.descriptors[pattern.descriptor] = memo.group(
+            descriptors = dict(binding.descriptors)
+            descriptors[pattern.descriptor] = memo.group(
                 gid
             ).logical_descriptor
+            extended.descriptors = descriptors
+        else:
+            extended.descriptors = binding.descriptors
         yield from _match_children(
-            patterns, group_ids, index + 1, extended, memo, expand
+            patterns, group_ids, index + 1, extended, memo, expand, expand_op
         )
         return
-    # Nested pattern node: try every m-expr of the input group.
-    for child in expand(gid):
-        for child_binding in _nested_match(pattern, child, binding, memo, expand):
+    # Nested pattern node: try every m-expr of the input group (only the
+    # plausibly matching ones when the engine indexes members by root).
+    if expand_op is not None:
+        candidates = expand_op(gid, pattern.op_name)
+    else:
+        candidates = expand(gid)
+    for child in candidates:
+        for child_binding in _nested_match(
+            pattern, child, binding, memo, expand, expand_op
+        ):
             yield from _match_children(
-                patterns, group_ids, index + 1, child_binding, memo, expand
+                patterns, group_ids, index + 1, child_binding, memo, expand,
+                expand_op,
             )
 
 
@@ -100,15 +129,19 @@ def _nested_match(
     binding: MatchBinding,
     memo: Memo,
     expand: ExpandFn,
+    expand_op: "ExpandOpFn | None",
 ) -> Iterator[MatchBinding]:
     if mexpr.is_file or mexpr.op_name != pattern.op_name:
         return
     if len(pattern.inputs) != len(mexpr.inputs):
         return
-    extended = binding.copy()
-    extended.descriptors[pattern.descriptor] = mexpr.descriptor
+    extended = MatchBinding.__new__(MatchBinding)
+    extended.groups = binding.groups  # shared: unchanged at this node
+    descriptors = dict(binding.descriptors)
+    descriptors[pattern.descriptor] = mexpr.descriptor
+    extended.descriptors = descriptors
     yield from _match_children(
-        pattern.inputs, mexpr.inputs, 0, extended, memo, expand
+        pattern.inputs, mexpr.inputs, 0, extended, memo, expand, expand_op
     )
 
 

@@ -1,0 +1,217 @@
+"""Cross-query plan caching for the Volcano search engine.
+
+The search engine memoizes *within* one :meth:`VolcanoOptimizer.optimize`
+call (the memo's winner tables), but every call starts from an empty
+memo: a service optimizing the same — or structurally identical — query
+twice repeats the whole search.  The :class:`PlanCache` closes that gap:
+a bounded, LRU-evicting map from a query's *logical identity* to its
+finished optimization result, shared across calls (and, if desired,
+across optimizer instances over the same rule set and catalog).
+
+Keying
+------
+Two optimization requests are interchangeable exactly when all of these
+coincide:
+
+* the **canonical tree fingerprint** — the operator tree's recursive
+  shape including each node's argument-property projection (the same
+  identity notion the memo's duplicate elimination uses, so two trees
+  that would encode to the same memo groups share a fingerprint);
+* the **required physical-property vector**;
+* the **rule set** (by object identity: a different rule set searches a
+  different plan space);
+* the **search options** (heuristics change which plan is found);
+* the **catalog and its version** — entries record the catalog object
+  and its :attr:`~repro.catalog.schema.Catalog.version` at store time;
+  any catalog mutation bumps the version and silently invalidates every
+  plan computed against the old state.
+
+Hits return a *fresh deep copy* of the cached plan (callers may annotate
+or execute plans destructively) together with the cached cost and memo.
+Hit/miss counters are surfaced per-optimization through
+:class:`~repro.volcano.search.SearchStats` and cumulatively through
+:meth:`PlanCache.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.algebra.expressions import Expression, StoredFileRef
+from repro.catalog.schema import Catalog
+
+PlanTree = Union[Expression, StoredFileRef]
+
+DEFAULT_MAX_ENTRIES = 256
+
+
+def tree_fingerprint(
+    tree: PlanTree, argument_properties: "tuple[str, ...]"
+) -> tuple:
+    """A hashable canonical identity for an initialized operator tree.
+
+    Mirrors :meth:`repro.volcano.memo.MExpr.key`: operator name plus the
+    argument-property projection of the node's descriptor, recursively;
+    stored files are identified by name alone.  Physical annotations
+    (costs, orders) are deliberately excluded — they are outputs of
+    optimization, not part of the query's identity.
+    """
+    if isinstance(tree, StoredFileRef):
+        return ("file", tree.name)
+    return (
+        tree.op.name,
+        tree.descriptor.project(argument_properties),
+        tuple(
+            tree_fingerprint(child, argument_properties)
+            for child in tree.inputs
+        ),
+    )
+
+
+def copy_plan(plan: PlanTree) -> PlanTree:
+    """A deep copy of an access plan (fresh descriptors throughout)."""
+    if isinstance(plan, StoredFileRef):
+        return StoredFileRef(plan.name, plan.descriptor.copy())
+    return plan.copy_tree()
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry: the finished result plus validity metadata."""
+
+    plan: PlanTree
+    cost: float
+    memo: Any  # repro.volcano.memo.Memo (untyped to avoid an import cycle)
+    catalog: Catalog
+    catalog_version: int
+
+    def is_valid(self, catalog: Catalog) -> bool:
+        return (
+            self.catalog is catalog
+            and self.catalog_version == catalog.version
+        )
+
+
+class PlanCache:
+    """A bounded LRU cache of finished optimizations.
+
+    Thread-compatible (no internal locking): like the optimizer itself,
+    one cache should be driven from one thread, or guarded externally.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        ruleset: Any,
+        options: Any,
+        tree: PlanTree,
+        required: tuple,
+    ) -> tuple:
+        """The cache key for one optimization request (catalog-independent;
+        catalog validity is checked per entry at lookup time)."""
+        return (
+            id(ruleset),
+            options,
+            required,
+            tree_fingerprint(tree, ruleset.argument_properties),
+        )
+
+    # -- lookup / store -------------------------------------------------------
+
+    def lookup(self, key: tuple, catalog: Catalog) -> "CachedPlan | None":
+        """The valid entry for ``key``, or ``None`` (counts hit/miss).
+
+        Entries stored against a mutated or different catalog are
+        discarded on sight and count as misses.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_valid(catalog):
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        key: tuple,
+        plan: PlanTree,
+        cost: float,
+        memo: Any,
+        catalog: Catalog,
+    ) -> CachedPlan:
+        """Cache a finished optimization (evicting LRU past the bound).
+
+        The plan is copied on the way in, so later caller-side mutation
+        of the returned plan cannot corrupt the cache.
+        """
+        entry = CachedPlan(
+            plan=copy_plan(plan),
+            cost=cost,
+            memo=memo,
+            catalog=catalog,
+            catalog_version=catalog.version,
+        )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    # -- maintenance ----------------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop every entry (e.g. after bulk catalog/statistics changes);
+        returns how many were dropped.
+
+        Per-catalog invalidation is automatic via catalog versions; this
+        explicit hook exists for callers that mutate cost-relevant state
+        the version counter cannot see (statistics refresh, helper
+        reconfiguration).
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative counters (across every optimizer using this cache)."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({len(self._entries)}/{self.max_entries} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

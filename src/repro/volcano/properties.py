@@ -20,10 +20,35 @@ from repro.algebra.properties import DONT_CARE
 
 PropertyVector = tuple  # alias for readability in signatures
 
+# Interning table for property vectors.  Vectors key every group's winner
+# cache and the cross-query plan cache; interning makes repeated lookups
+# hit dict slots through the identity fast path instead of re-hashing and
+# element-wise comparing tuples.  Bounded so pathological workloads cannot
+# grow it without limit (overflow vectors are simply returned uninterned).
+_VECTOR_INTERN: dict = {}
+_VECTOR_INTERN_LIMIT = 4096
+
+_DONT_CARE_VECTORS: dict = {}
+
+
+def intern_vector(vector: PropertyVector) -> PropertyVector:
+    """Return the canonical instance of ``vector`` (identity-stable)."""
+    cached = _VECTOR_INTERN.get(vector)
+    if cached is not None:
+        return cached
+    if len(_VECTOR_INTERN) >= _VECTOR_INTERN_LIMIT:
+        return vector
+    _VECTOR_INTERN[vector] = vector
+    return vector
+
 
 def dont_care_vector(names: "tuple[str, ...]") -> PropertyVector:
     """The all-DONT_CARE vector for the given physical properties."""
-    return (DONT_CARE,) * len(names)
+    n = len(names)
+    cached = _DONT_CARE_VECTORS.get(n)
+    if cached is None:
+        cached = _DONT_CARE_VECTORS[n] = intern_vector((DONT_CARE,) * n)
+    return cached
 
 
 def vector_of(descriptor: Descriptor, names: "tuple[str, ...]") -> PropertyVector:

@@ -39,14 +39,16 @@ from repro.algebra.expressions import Expression, StoredFileRef
 from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
 from repro.catalog.schema import Catalog
 from repro.errors import NoPlanFoundError, SearchError
-from repro.prairie.actions import ActionEnv
+from repro.prairie.actions import ActionEnv, LazyFreshDescriptors
 from repro.volcano.memo import Group, Memo, MExpr
 from repro.volcano.model import Enforcer, ImplRule, TransRule, VolcanoRuleSet
 from repro.volcano.patterns import MatchBinding, match_mexpr
+from repro.volcano.plancache import PlanCache, copy_plan
 from repro.volcano.properties import (
     PropertyVector,
     apply_vector,
     dont_care_vector,
+    intern_vector,
     is_trivial,
     satisfies,
 )
@@ -96,6 +98,12 @@ class SearchOptions:
       nested-loops cost smaller than its inputs' sum — under either, the
       bound could prune the true optimum.  Off by default; the engine is
       exact without it.
+    * ``use_rule_index`` — drive exploration through the rule set's
+      LHS-root operator index with per-m-expr fired bitmasks (the fast
+      path, on by default).  Disabling restores the legacy hot path —
+      every trans_rule attempted against every m-expr, fired bookkeeping
+      in a tuple-keyed set — purely so ``bench_perf_search.py`` can
+      measure the difference.  The two paths find identical plans.
 
     Plans remain valid and executable under any heuristic; they just may
     no longer be the global optimum.  The ablation benchmark
@@ -106,6 +114,7 @@ class SearchOptions:
     max_groups: "int | None" = None
     max_mexprs: "int | None" = None
     monotone_costs: bool = False
+    use_rule_index: bool = True
 
     def allows(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -144,6 +153,8 @@ class SearchStats:
     enforcer_applied: int = 0
     optimize_calls: int = 0
     winners_cached: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     elapsed_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
@@ -159,11 +170,14 @@ class SearchStats:
             "impl_succeeded": self.impl_succeeded,
             "enforcer_applied": self.enforcer_applied,
             "optimize_calls": self.optimize_calls,
+            "winners_cached": self.winners_cached,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class Winner:
     """The best plan found for one (group, required-vector) request."""
 
@@ -191,7 +205,11 @@ class VolcanoOptimizer:
     """One optimization engine bound to a rule set and a catalog.
 
     The optimizer is reusable: each :meth:`optimize` call builds a fresh
-    memo and statistics, so one engine can serve many queries.
+    memo and statistics, so one engine can serve many queries.  Passing a
+    :class:`~repro.volcano.plancache.PlanCache` makes that reuse pay:
+    repeated (or structurally identical) queries are answered from the
+    cache without any search; see :mod:`repro.volcano.plancache` for the
+    keying and invalidation rules.
     """
 
     def __init__(
@@ -199,12 +217,20 @@ class VolcanoOptimizer:
         ruleset: VolcanoRuleSet,
         catalog: Catalog,
         options: "SearchOptions | None" = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         ruleset.validate()
         self.ruleset = ruleset
         self.catalog = catalog
         self.options = options if options is not None else NO_HEURISTICS
+        self.plan_cache = plan_cache
         self.context = OptimizerContext(catalog=catalog, ruleset=ruleset)
+        # Identity of a default-valued descriptor: most RHS descriptors
+        # are never touched by the rule's actions, so their memo identity
+        # is this schema-wide constant (see _build_rhs's fast path).
+        self._default_arg_projection = Descriptor(ruleset.schema).project(
+            ruleset.argument_properties
+        )
 
     # -- public API ------------------------------------------------------------
 
@@ -228,8 +254,27 @@ class VolcanoOptimizer:
                 f"required vector has {len(required)} entries, rule set has "
                 f"{len(phys)} physical properties"
             )
+        required = intern_vector(required)
+        cache = self.plan_cache
+        cache_key: "tuple | None" = None
+        if cache is not None:
+            cache_key = PlanCache.key_for(
+                self.ruleset, self.options, tree, required
+            )
+            entry = cache.lookup(cache_key, self.catalog)
+            if entry is not None:
+                stats = SearchStats()
+                stats.plan_cache_hits = 1
+                stats.groups = entry.memo.group_count
+                stats.mexprs = entry.memo.mexpr_count
+                stats.elapsed_seconds = time.perf_counter() - started
+                return OptimizationResult(
+                    copy_plan(entry.plan), entry.cost, stats, entry.memo
+                )
         memo = Memo(self.ruleset.argument_properties)
         stats = SearchStats()
+        if cache is not None:
+            stats.plan_cache_misses = 1
         state = _SearchState(memo, stats)
         root = memo.from_expression(tree)
         winner = self._optimize_group(state, root.gid, required)
@@ -241,6 +286,8 @@ class VolcanoOptimizer:
                 f"no access plan delivers the requested properties for "
                 f"{tree}"
             )
+        if cache is not None:
+            cache.store(cache_key, winner.plan, winner.cost, memo, self.catalog)
         return OptimizationResult(winner.plan, winner.cost, stats, memo)
 
     # -- exploration (trans_rules to fixpoint) ----------------------------------
@@ -257,50 +304,120 @@ class VolcanoOptimizer:
         state.exploring.add(gid)
         options = self.options
         try:
-            index = 0
-            while index < len(group.mexprs):
-                if not options.exploration_budget_left(memo):
-                    # Heuristic cut-off: keep what we have, derive no
-                    # more logical alternatives (SearchOptions).
-                    break
-                mexpr = group.mexprs[index]
-                for rule in self.ruleset.trans_rules:
-                    if not options.allows(rule.name):
-                        continue
-                    fired_key = (rule.name, id(mexpr))
-                    if fired_key in state.fired:
-                        continue
-                    state.fired.add(fired_key)
-                    self._apply_trans_rule(state, rule, mexpr, gid)
-                index += 1
+            if options.use_rule_index:
+                self._explore_indexed(state, group, gid, options)
+            else:
+                self._explore_legacy(state, group, gid, options)
             group.explored = True
         finally:
             state.exploring.discard(gid)
         return group.mexprs
+
+    def _explore_indexed(
+        self,
+        state: "_SearchState",
+        group: Group,
+        gid: int,
+        options: SearchOptions,
+    ) -> None:
+        """The fast path: only rules whose LHS root matches the m-expr's
+        operator are attempted (via the rule set's operator index), and
+        fired bookkeeping is a bitmask over dense rule ids on the m-expr
+        itself — no per-attempt tuple allocation or global set."""
+        memo = state.memo
+        mexprs = group.mexprs  # mutated in place by _build_rhs inserts
+        trans_entries_for = self.ruleset.trans_entries_for
+        unrestricted = not options.disabled_rules
+        index = 0
+        while index < len(mexprs):
+            if not options.exploration_budget_left(memo):
+                # Heuristic cut-off: keep what we have, derive no
+                # more logical alternatives (SearchOptions).
+                break
+            mexpr = mexprs[index]
+            for dense_id, rule in trans_entries_for(mexpr.op_name):
+                bit = 1 << dense_id
+                if mexpr.fired_mask & bit:
+                    continue
+                if not (unrestricted or options.allows(rule.name)):
+                    continue
+                mexpr.fired_mask |= bit
+                self._apply_trans_rule(state, rule, mexpr, gid)
+            index += 1
+
+    def _explore_legacy(
+        self,
+        state: "_SearchState",
+        group: Group,
+        gid: int,
+        options: SearchOptions,
+    ) -> None:
+        """The pre-index hot path (``use_rule_index=False``), kept so the
+        perf harness can measure the speedup; finds identical plans."""
+        memo = state.memo
+        index = 0
+        while index < len(group.mexprs):
+            if not options.exploration_budget_left(memo):
+                break
+            mexpr = group.mexprs[index]
+            for rule in self.ruleset.trans_rules:
+                if not options.allows(rule.name):
+                    continue
+                fired_key = (rule.name, id(mexpr))
+                if fired_key in state.fired:
+                    continue
+                state.fired.add(fired_key)
+                self._apply_trans_rule(state, rule, mexpr, gid)
+            index += 1
 
     def _apply_trans_rule(
         self, state: "_SearchState", rule: TransRule, mexpr: MExpr, gid: int
     ) -> None:
         memo = state.memo
         expand = lambda child_gid: self._explore(state, child_gid)  # noqa: E731
+        expand_op = None
+        if self.options.use_rule_index:
+            # Fast path: nested pattern nodes enumerate only the input
+            # group's members with the right root operator (the group's
+            # by_op index), instead of scanning every member.
+            def expand_op(child_gid: int, op_name: str):  # noqa: E731
+                self._explore(state, child_gid)
+                return memo.group(child_gid).by_op.get(op_name, ())
+
+        appl_code = rule.appl_code
+        if self.options.use_rule_index and rule.appl_code_fast is not None:
+            appl_code = rule.appl_code_fast
         matched = False
-        for binding in match_mexpr(rule.lhs, mexpr, memo, expand):
+        for binding in match_mexpr(rule.lhs, mexpr, memo, expand, expand_op):
             matched = True
             state.stats.trans_considered += 1
             env = self._trans_env(rule, binding)
             if not rule.cond_code(env):
                 continue
             state.stats.trans_applicable.add(rule.name)
-            rule.appl_code(env)
+            appl_code(env)
             state.stats.trans_fired += 1
             self._build_rhs(state, rule.rhs, binding, env, target_group=gid)
         if matched:
             state.stats.trans_matched.add(rule.name)
 
     def _trans_env(self, rule: TransRule, binding: MatchBinding) -> ActionEnv:
+        schema = self.ruleset.schema
+        if self.options.use_rule_index:
+            # Fast path: fresh RHS descriptors materialize on first
+            # access — most bindings fail the rule's condition without
+            # ever touching them.  The binding is single-use, so its
+            # descriptor dict seeds the namespace directly.
+            bound = binding.descriptors
+            return ActionEnv(
+                LazyFreshDescriptors(bound, rule.fresh_rhs_names, schema),
+                self.ruleset.helpers,
+                context=self.context,
+                readonly=bound.keys(),
+            )
         descriptors = dict(binding.descriptors)
-        for name in rule.rhs_descriptor_names:
-            descriptors[name] = Descriptor(self.ruleset.schema)
+        for name in rule.fresh_rhs_names:
+            descriptors[name] = Descriptor(schema)
         return ActionEnv(
             descriptors,
             self.ruleset.helpers,
@@ -325,12 +442,53 @@ class VolcanoOptimizer:
         if isinstance(elem, PatternVar):
             return binding.groups[elem.var]
         child_gids = tuple(
-            self._build_rhs(state, child, binding, env, target_group=None)
-            for child in elem.inputs
+            [
+                self._build_rhs(state, child, binding, env, target_group=None)
+                for child in elem.inputs
+            ]
         )
-        descriptor = env.descriptor(elem.descriptor).copy()
-        mexpr = MExpr(elem.op_name, child_gids, descriptor)
-        canonical, created = state.memo.insert(mexpr, group_id=target_group)
+        memo = state.memo
+        # allow_cross_group: the fired rule proves the RHS logically
+        # equivalent to the target group, so a duplicate found in another
+        # group means the two groups are equivalent; keeping the original
+        # home is this memo's documented behaviour.
+        if self.options.use_rule_index:
+            # Fast path: most RHS nodes are re-derivations of known
+            # m-exprs, so probe the duplicate-elimination index *before*
+            # paying for descriptor materialization, copy and m-expr
+            # allocation.  A fresh RHS descriptor the rule's actions never
+            # wrote stays lazily absent (``dict.get`` skips ``__missing__``)
+            # and its argument projection is the schema-default constant.
+            descriptors = env.descriptors
+            descriptor = descriptors.get(elem.descriptor)
+            if descriptor is None:
+                if elem.descriptor not in descriptors._fresh:
+                    env.descriptor(elem.descriptor)  # canonical ActionError
+                projection = self._default_arg_projection
+            else:
+                projection = descriptor.project(memo.argument_properties)
+            key = (elem.op_name, child_gids, projection)
+            canonical = memo._index.get(key)  # inlined Memo.probe
+            created = False
+            if canonical is None:
+                if descriptor is None:
+                    # Unshared and default-valued: safe to hand straight
+                    # to the m-expr, no copy.
+                    descriptor = Descriptor(self.ruleset.schema)
+                else:
+                    descriptor = descriptor.copy()
+                canonical, created = memo.insert(
+                    MExpr(elem.op_name, child_gids, descriptor),
+                    group_id=target_group,
+                    allow_cross_group=True,
+                    key=key,
+                )
+        else:
+            descriptor = env.descriptor(elem.descriptor)
+            mexpr = MExpr(elem.op_name, child_gids, descriptor.copy())
+            canonical, created = memo.insert(
+                mexpr, group_id=target_group, allow_cross_group=True
+            )
         if created and target_group is None:
             # A brand-new group must be closed under the trans_rules right
             # away: every logically equivalent variant (e.g. the commuted
@@ -474,7 +632,7 @@ class VolcanoOptimizer:
         accumulated = 0.0
         prune_on_inputs = self.options.monotone_costs and best_so_far is not None
         for index, child_gid in enumerate(mexpr.inputs):
-            input_pv = rule.get_input_pv(env, index)
+            input_pv = intern_vector(rule.get_input_pv(env, index))
             sub = self._optimize_group(state, child_gid, input_pv)
             if sub is None:
                 return None
@@ -515,7 +673,7 @@ class VolcanoOptimizer:
             return None
         if not enforcer.do_any_good(env):
             return None
-        input_pv = enforcer.get_input_pv(env, 0)
+        input_pv = intern_vector(enforcer.get_input_pv(env, 0))
         if input_pv == required:
             return None  # no relaxation: applying would recurse forever
         sub = self._optimize_group(state, group.gid, input_pv)

@@ -1,0 +1,128 @@
+"""Regression: the fast-path knobs must never change *what* is found.
+
+Every optimization in :mod:`repro.volcano.search` is gated behind a
+switch — the rule index (``SearchOptions.use_rule_index``), the
+descriptor projection cache, and the catalog statistics cache.  Each one
+is a pure speedup: with any combination of knobs toggled, the search
+must derive the same memo, pick the same winner, and report the same
+cost bit-for-bit.  These tests pin that contract down so a future
+"optimization" that changes plans gets caught immediately.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebra.descriptors import (
+    projection_cache_enabled,
+    set_projection_cache_enabled,
+)
+from repro.catalog.statistics import (
+    set_stats_cache_enabled,
+    stats_cache_enabled,
+)
+from repro.volcano.explain import explain
+from repro.volcano.search import SearchOptions, VolcanoOptimizer
+from repro.workloads.queries import make_query_instance
+
+
+@pytest.fixture
+def cache_switches():
+    """Restore the global cache switches no matter how a test exits."""
+    saved = (projection_cache_enabled(), stats_cache_enabled())
+    try:
+        yield
+    finally:
+        set_projection_cache_enabled(saved[0])
+        set_stats_cache_enabled(saved[1])
+
+
+KNOB_COMBOS = list(itertools.product((True, False), repeat=3))
+
+
+def _run(ruleset, catalog, tree, *, rule_index, proj_cache, stats_cache):
+    set_projection_cache_enabled(proj_cache)
+    set_stats_cache_enabled(stats_cache)
+    try:
+        optimizer = VolcanoOptimizer(
+            ruleset,
+            catalog,
+            options=SearchOptions(use_rule_index=rule_index),
+        )
+        result = optimizer.optimize(tree)
+    finally:
+        set_projection_cache_enabled(True)
+        set_stats_cache_enabled(True)
+    return result
+
+
+def _signature(result):
+    """Everything observable about a search outcome."""
+    stats = result.stats
+    return (
+        result.cost,
+        explain(result, verbose=False),
+        stats.groups,
+        stats.mexprs,
+        stats.trans_fired,
+        stats.winners_cached,
+    )
+
+
+class TestKnobBitIdentity:
+    @pytest.mark.parametrize("qid,n_joins", [("Q5", 2), ("Q7", 1), ("Q2", 2)])
+    def test_all_combos_identical(
+        self, schema, oodb_volcano_generated, cache_switches, qid, n_joins
+    ):
+        catalog, tree = make_query_instance(schema, qid, n_joins, 0)
+        reference = None
+        for rule_index, proj_cache, stats_cache in KNOB_COMBOS:
+            signature = _signature(
+                _run(
+                    oodb_volcano_generated,
+                    catalog,
+                    tree,
+                    rule_index=rule_index,
+                    proj_cache=proj_cache,
+                    stats_cache=stats_cache,
+                )
+            )
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, (
+                    f"knobs (rule_index={rule_index}, proj_cache={proj_cache}, "
+                    f"stats_cache={stats_cache}) changed the search outcome"
+                )
+
+    def test_relational_ruleset_identical(
+        self, relational_volcano_generated, rel_catalog, rel_builder,
+        cache_switches,
+    ):
+        from repro.catalog.predicates import equals_attr
+
+        tree = rel_builder.join(
+            rel_builder.join(
+                rel_builder.ret("R1"),
+                rel_builder.ret("R2"),
+                equals_attr("b1", "b2"),
+            ),
+            rel_builder.ret("R3"),
+            equals_attr("b2", "b3"),
+        )
+        reference = None
+        for rule_index, proj_cache, stats_cache in KNOB_COMBOS:
+            signature = _signature(
+                _run(
+                    relational_volcano_generated,
+                    rel_catalog,
+                    tree,
+                    rule_index=rule_index,
+                    proj_cache=proj_cache,
+                    stats_cache=stats_cache,
+                )
+            )
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference

@@ -1,0 +1,396 @@
+"""Tests for the cross-query plan cache and its engine integration.
+
+Covers the :class:`~repro.volcano.plancache.PlanCache` unit behaviour
+(hit/miss counting, LRU eviction, explicit and catalog-version
+invalidation), the fingerprint keying, the optimizer's hit/miss
+statistics, and the memo's cross-group insertion guard the engine's
+duplicate elimination relies on.
+"""
+
+import pytest
+
+from repro.algebra.descriptors import Descriptor
+from repro.algebra.expressions import StoredFileRef
+from repro.algebra.properties import DescriptorSchema, PropertyDef, PropertyType
+from repro.catalog.schema import StoredFileInfo
+from repro.errors import SearchError
+from repro.volcano.memo import Memo, MExpr
+from repro.volcano.plancache import (
+    CachedPlan,
+    PlanCache,
+    copy_plan,
+    tree_fingerprint,
+)
+from repro.volcano.search import SearchOptions, VolcanoOptimizer
+from repro.workloads.queries import make_query_instance
+
+
+# ---------------------------------------------------------------------------
+# Unit level: a tiny private schema, independent of the bundled optimizers
+# ---------------------------------------------------------------------------
+
+SCHEMA = DescriptorSchema(
+    [
+        PropertyDef("join_predicate", PropertyType.PREDICATE),
+        PropertyDef("num_records", PropertyType.FLOAT),
+        PropertyDef("cost", PropertyType.COST),
+    ]
+)
+ARGS = ("join_predicate", "num_records")
+
+
+def d(**values):
+    return Descriptor(SCHEMA, values)
+
+
+def file_plan(name="R1"):
+    return StoredFileRef(name, d(num_records=10.0))
+
+
+class FakeCatalog:
+    """Just enough of the Catalog surface for cache unit tests."""
+
+    def __init__(self):
+        self._version = 0
+
+    @property
+    def version(self):
+        return self._version
+
+    def mutate(self):
+        self._version += 1
+
+
+class TestTreeFingerprint:
+    def test_same_shape_same_fingerprint(self):
+        a = file_plan()
+        b = file_plan()
+        assert tree_fingerprint(a, ARGS) == tree_fingerprint(b, ARGS)
+
+    def test_file_identified_by_name(self):
+        assert tree_fingerprint(file_plan("R1"), ARGS) != tree_fingerprint(
+            file_plan("R2"), ARGS
+        )
+
+    def test_stored_file_keyed_by_name_alone(self):
+        # Matching MExpr.key: a file's descriptor values (outputs of
+        # initialization) do not change the query's identity.
+        a = StoredFileRef("R1", d(num_records=10.0))
+        b = StoredFileRef("R1", d(num_records=20.0))
+        assert tree_fingerprint(a, ARGS) == tree_fingerprint(b, ARGS)
+
+    def test_real_queries_distinguished(self, schema, oodb_volcano_generated):
+        args = oodb_volcano_generated.argument_properties
+        _, q5 = make_query_instance(schema, "Q5", 1, 0)
+        _, q5_twin = make_query_instance(schema, "Q5", 1, 0)
+        _, q5_deeper = make_query_instance(schema, "Q5", 2, 0)
+        assert tree_fingerprint(q5, args) == tree_fingerprint(q5_twin, args)
+        assert tree_fingerprint(q5, args) != tree_fingerprint(q5_deeper, args)
+
+
+class TestPlanCacheUnit:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        catalog = FakeCatalog()
+        assert cache.lookup(("k",), catalog) is None
+        cache.store(("k",), file_plan(), 7.5, memo=None, catalog=catalog)
+        entry = cache.lookup(("k",), catalog)
+        assert isinstance(entry, CachedPlan)
+        assert entry.cost == 7.5
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_stored_plan_is_copied(self):
+        cache = PlanCache()
+        catalog = FakeCatalog()
+        plan = file_plan()
+        entry = cache.store(("k",), plan, 1.0, memo=None, catalog=catalog)
+        assert entry.plan is not plan
+
+    def test_lru_eviction_bound(self):
+        cache = PlanCache(max_entries=2)
+        catalog = FakeCatalog()
+        for name in ("a", "b", "c"):
+            cache.store((name,), file_plan(), 1.0, memo=None, catalog=catalog)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert ("a",) not in cache  # oldest evicted
+        assert ("b",) in cache and ("c",) in cache
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = PlanCache(max_entries=2)
+        catalog = FakeCatalog()
+        cache.store(("a",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.store(("b",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.lookup(("a",), catalog)  # "a" becomes most recent
+        cache.store(("c",), file_plan(), 1.0, memo=None, catalog=catalog)
+        assert ("a",) in cache
+        assert ("b",) not in cache
+
+    def test_catalog_version_invalidates(self):
+        cache = PlanCache()
+        catalog = FakeCatalog()
+        cache.store(("k",), file_plan(), 1.0, memo=None, catalog=catalog)
+        catalog.mutate()
+        assert cache.lookup(("k",), catalog) is None
+        assert cache.invalidations == 1
+        assert cache.misses == 1
+        assert len(cache) == 0  # stale entry dropped on sight
+
+    def test_different_catalog_object_invalidates(self):
+        cache = PlanCache()
+        cache.store(("k",), file_plan(), 1.0, memo=None, catalog=FakeCatalog())
+        assert cache.lookup(("k",), FakeCatalog()) is None
+        assert cache.invalidations == 1
+
+    def test_explicit_invalidate_drops_everything(self):
+        cache = PlanCache()
+        catalog = FakeCatalog()
+        cache.store(("a",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.store(("b",), file_plan(), 1.0, memo=None, catalog=catalog)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.lookup(("a",), catalog) is None
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_stats_counters(self):
+        cache = PlanCache(max_entries=4)
+        catalog = FakeCatalog()
+        cache.store(("k",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.lookup(("k",), catalog)
+        cache.lookup(("missing",), catalog)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 4
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+
+    def test_copy_plan_deep(self):
+        plan = file_plan()
+        clone = copy_plan(plan)
+        assert clone is not plan
+        assert clone.descriptor is not plan.descriptor
+        assert clone.descriptor == plan.descriptor
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: real optimizations against the OODB rule set
+# ---------------------------------------------------------------------------
+
+
+class TestOptimizerIntegration:
+    def _build(self, schema, ruleset, qid="Q5", n_joins=1, **kwargs):
+        catalog, tree = make_query_instance(schema, qid, n_joins, 0)
+        cache = PlanCache()
+        optimizer = VolcanoOptimizer(
+            ruleset, catalog, plan_cache=cache, **kwargs
+        )
+        return catalog, tree, cache, optimizer
+
+    def test_cold_then_warm(self, schema, oodb_volcano_generated):
+        _, tree, cache, optimizer = self._build(schema, oodb_volcano_generated)
+        cold = optimizer.optimize(tree)
+        assert cold.stats.plan_cache_misses == 1
+        assert cold.stats.plan_cache_hits == 0
+        warm = optimizer.optimize(tree)
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.plan_cache_misses == 0
+        assert warm.cost == cold.cost
+        assert cache.stats()["hits"] == 1
+
+    def test_structurally_identical_tree_hits(
+        self, schema, oodb_volcano_generated
+    ):
+        catalog, tree, cache, optimizer = self._build(
+            schema, oodb_volcano_generated
+        )
+        optimizer.optimize(tree)
+        # A *fresh* build of the same query instance: different objects,
+        # same canonical fingerprint.
+        _, twin = make_query_instance(schema, "Q5", 1, 0)
+        result = optimizer.optimize(twin)
+        assert result.stats.plan_cache_hits == 1
+
+    def test_hit_returns_private_copy(self, schema, oodb_volcano_generated):
+        _, tree, _, optimizer = self._build(schema, oodb_volcano_generated)
+        optimizer.optimize(tree)
+        first = optimizer.optimize(tree)
+        second = optimizer.optimize(tree)
+        assert first.plan is not second.plan
+        # Maul the first hit's plan in place; the cache (and hence later
+        # hits) must be unaffected.
+        prop = next(iter(first.plan.descriptor._values))
+        first.plan.descriptor._values[prop] = "MAULED"
+        third = optimizer.optimize(tree)
+        assert third.plan.descriptor._values[prop] != "MAULED"
+
+    def test_catalog_mutation_invalidates(
+        self, schema, oodb_volcano_generated
+    ):
+        catalog, tree, cache, optimizer = self._build(
+            schema, oodb_volcano_generated
+        )
+        optimizer.optimize(tree)
+        catalog.add(StoredFileInfo("ZZZ_new", ("z1", "z2"), 10, 50))
+        result = optimizer.optimize(tree)
+        assert result.stats.plan_cache_misses == 1
+        assert result.stats.plan_cache_hits == 0
+        assert cache.invalidations == 1
+        # And the re-optimization repopulated the cache.
+        assert optimizer.optimize(tree).stats.plan_cache_hits == 1
+
+    def test_options_participate_in_key(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q5", 1, 0)
+        cache = PlanCache()
+        plain = VolcanoOptimizer(
+            oodb_volcano_generated, catalog, plan_cache=cache
+        )
+        plain.optimize(tree)
+        budgeted = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            options=SearchOptions(max_groups=500),
+            plan_cache=cache,
+        )
+        result = budgeted.optimize(tree)
+        assert result.stats.plan_cache_misses == 1  # different options key
+        assert len(cache) == 2
+
+    def test_required_vector_participates_in_key(
+        self, schema, oodb_volcano_generated
+    ):
+        from repro.volcano.properties import dont_care_vector
+
+        catalog, tree = make_query_instance(schema, "Q5", 1, 0)
+        cache = PlanCache()
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated, catalog, plan_cache=cache
+        )
+        optimizer.optimize(tree)
+        phys = oodb_volcano_generated.physical_properties
+        result = optimizer.optimize(tree, dont_care_vector(phys))
+        # Explicit don't-care equals the default requirement: same key.
+        assert result.stats.plan_cache_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# The memo's cross-group guard (what the engine's fast path opts out of)
+# ---------------------------------------------------------------------------
+
+
+class TestCrossGroupInsert:
+    def _two_groups(self):
+        memo = Memo(ARGS)
+        leaf = memo.add_file(StoredFileRef("R1", d()))
+        a = memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=1.0)))[0]
+        b = memo.insert(MExpr("RET", (leaf.group_id,), d(num_records=2.0)))[0]
+        assert a.group_id != b.group_id
+        return memo, a, b
+
+    def test_duplicate_in_other_group_raises(self):
+        memo, a, b = self._two_groups()
+        duplicate = MExpr("RET", a.inputs, d(num_records=1.0))
+        with pytest.raises(SearchError):
+            memo.insert(duplicate, group_id=b.group_id)
+
+    def test_opt_in_returns_foreign_canonical(self):
+        memo, a, b = self._two_groups()
+        duplicate = MExpr("RET", a.inputs, d(num_records=1.0))
+        canonical, created = memo.insert(
+            duplicate, group_id=b.group_id, allow_cross_group=True
+        )
+        assert not created
+        assert canonical is a
+        assert canonical.group_id == a.group_id  # never moved
+
+    def test_same_group_duplicate_needs_no_opt_in(self):
+        memo, a, _ = self._two_groups()
+        duplicate = MExpr("RET", a.inputs, d(num_records=1.0))
+        canonical, created = memo.insert(duplicate, group_id=a.group_id)
+        assert not created
+        assert canonical is a
+
+
+# ---------------------------------------------------------------------------
+# SearchOptions budgets
+# ---------------------------------------------------------------------------
+
+
+class TestSearchOptionBudgets:
+    @pytest.mark.parametrize("use_rule_index", [True, False])
+    def test_max_mexprs_caps_derivation(
+        self, schema, oodb_volcano_generated, use_rule_index
+    ):
+        catalog, tree = make_query_instance(schema, "Q5", 2, 0)
+        free = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            options=SearchOptions(use_rule_index=use_rule_index),
+        ).optimize(tree)
+        capped = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            options=SearchOptions(
+                max_mexprs=30, use_rule_index=use_rule_index
+            ),
+        ).optimize(tree)
+        assert capped.stats.mexprs < free.stats.mexprs
+        assert capped.cost >= free.cost  # pruning never finds better plans
+
+    @pytest.mark.parametrize("use_rule_index", [True, False])
+    def test_max_groups_caps_derivation(
+        self, schema, oodb_volcano_generated, use_rule_index
+    ):
+        catalog, tree = make_query_instance(schema, "Q5", 2, 0)
+        free = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            options=SearchOptions(use_rule_index=use_rule_index),
+        ).optimize(tree)
+        capped = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            options=SearchOptions(
+                max_groups=12, use_rule_index=use_rule_index
+            ),
+        ).optimize(tree)
+        assert capped.stats.groups < free.stats.groups
+
+    def test_budget_cutoff_identical_across_paths(
+        self, schema, oodb_volcano_generated
+    ):
+        """The indexed and legacy paths fire rules in the same order, so
+        a budget must cut both off at the identical point."""
+        from repro.volcano.explain import explain
+
+        catalog, tree = make_query_instance(schema, "Q5", 2, 0)
+        results = []
+        for use_rule_index in (True, False):
+            result = VolcanoOptimizer(
+                oodb_volcano_generated,
+                catalog,
+                options=SearchOptions(
+                    max_mexprs=40, use_rule_index=use_rule_index
+                ),
+            ).optimize(tree)
+            results.append(
+                (result.cost, result.stats.mexprs, explain(result, verbose=False))
+            )
+        assert results[0] == results[1]
+
+    def test_stats_dict_reports_cache_counters(
+        self, schema, oodb_volcano_generated
+    ):
+        catalog, tree = make_query_instance(schema, "Q5", 1, 0)
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated, catalog, plan_cache=PlanCache()
+        )
+        stats = optimizer.optimize(tree).stats.as_dict()
+        for key in ("winners_cached", "plan_cache_hits", "plan_cache_misses"):
+            assert key in stats
+        assert stats["plan_cache_misses"] == 1
