@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Hot-path benchmark for the Volcano search engine (BENCH_search.json).
 
-Times every paper query (Q1–Q8) under four legs:
+Times every paper query (Q1–Q8) under six legs:
 
 * ``baseline``   — the seed-equivalent hot path: ``use_rule_index=False``
   plus the projection and statistics caches switched off;
@@ -9,7 +9,14 @@ Times every paper query (Q1–Q8) under four legs:
 * ``cache_cold`` — optimized, with a :class:`PlanCache` attached, first
   call (pays the search plus the cache store);
 * ``cache_warm`` — the same optimizer asked the same query again (pure
-  cache hit).
+  cache hit);
+* ``trace_off``  — optimized, observability layer present but no tracer
+  attached: measures the residual cost of the emit-hook guards, which
+  the report asserts stays under 2% of the ``optimized`` leg (when
+  ``--repeats`` >= 3; fewer repeats leave too much scheduler noise in
+  the per-leg minimum to gate honestly);
+* ``trace_on``   — optimized with a :class:`CountingTracer` receiving
+  every event: the cost of actually observing, reported but not gated.
 
 All legs must agree on the best cost — the fast paths are pure
 performance work, so any divergence is a bug and aborts the run.  Legs
@@ -44,16 +51,28 @@ from repro.algebra.descriptors import set_projection_cache_enabled  # noqa: E402
 from repro.bench.harness import ExperimentConfig, build_optimizer_pair  # noqa: E402
 from repro.bench.timing import time_callable  # noqa: E402
 from repro.catalog.statistics import set_stats_cache_enabled  # noqa: E402
+from repro.obs import NULL_TRACER, CountingTracer  # noqa: E402
 from repro.volcano.plancache import PlanCache  # noqa: E402
 from repro.volcano.search import SearchOptions, VolcanoOptimizer  # noqa: E402
 from repro.workloads.queries import QUERIES, make_query_instance  # noqa: E402
 
 QIDS = tuple(QUERIES)
-LEGS = ("baseline", "optimized", "cache_cold", "cache_warm")
+LEGS = (
+    "baseline",
+    "optimized",
+    "cache_cold",
+    "cache_warm",
+    "trace_off",
+    "trace_on",
+)
 
 #: Warm-cache calls are sub-millisecond; a single timing would be all
 #: clock granularity, so the warm leg reports the best of this many.
 WARM_CALLS = 5
+
+#: Ceiling on the trace_off leg's overhead over the optimized leg, in
+#: percent.  Gated only when repeats >= 3 (see measure_query).
+TRACE_OFF_MAX_OVERHEAD_PERCENT = 2.0
 
 
 def _set_descriptor_caches(enabled: bool) -> None:
@@ -74,9 +93,14 @@ def measure_query(
     fast_opt = VolcanoOptimizer(ruleset, catalog)
     cache = PlanCache()
     cached_opt = VolcanoOptimizer(ruleset, catalog, plan_cache=cache)
+    null_traced_opt = VolcanoOptimizer(ruleset, catalog, tracer=NULL_TRACER)
+    counting_tracer = CountingTracer()
+    traced_opt = VolcanoOptimizer(ruleset, catalog, tracer=counting_tracer)
 
     best = {leg: float("inf") for leg in LEGS}
     costs = {}
+    trace_off_ratios = []
+    trace_on_ratios = []
     for _ in range(repeats):
         _set_descriptor_caches(False)
         seconds, result = time_callable(lambda: baseline_opt.optimize(tree), 1)
@@ -85,6 +109,7 @@ def measure_query(
 
         _set_descriptor_caches(True)
         seconds, result = time_callable(lambda: fast_opt.optimize(tree), 1)
+        optimized_seconds = seconds
         best["optimized"] = min(best["optimized"], seconds)
         costs["optimized"] = result.cost
 
@@ -101,6 +126,24 @@ def measure_query(
         costs["cache_warm"] = result.cost
         assert result.stats.plan_cache_hits == 1
 
+        seconds, result = time_callable(
+            lambda: null_traced_opt.optimize(tree), 1
+        )
+        best["trace_off"] = min(best["trace_off"], seconds)
+        costs["trace_off"] = result.cost
+        # Pair each traced timing with the untraced timing of the *same*
+        # repeat: machine-load drift over the run inflates both sides of
+        # the pair equally, so the best per-repeat ratio isolates the
+        # systematic guard overhead far better than a ratio of
+        # cross-repeat minima does.
+        trace_off_ratios.append(seconds / optimized_seconds)
+
+        seconds, result = time_callable(lambda: traced_opt.optimize(tree), 1)
+        best["trace_on"] = min(best["trace_on"], seconds)
+        costs["trace_on"] = result.cost
+        trace_on_ratios.append(seconds / optimized_seconds)
+        assert counting_tracer.total > 0
+
     reference = costs["baseline"]
     for leg, cost in costs.items():
         if abs(cost - reference) > 1e-9 * max(1.0, abs(reference)):
@@ -110,6 +153,16 @@ def measure_query(
                 f"the plan"
             )
 
+    trace_off_overhead = 100.0 * (min(trace_off_ratios) - 1.0)
+    trace_on_overhead = 100.0 * (min(trace_on_ratios) - 1.0)
+    if repeats >= 3 and trace_off_overhead > TRACE_OFF_MAX_OVERHEAD_PERCENT:
+        raise AssertionError(
+            f"{qid} n={n_joins}: tracing-off overhead "
+            f"{trace_off_overhead:.2f}% exceeds the "
+            f"{TRACE_OFF_MAX_OVERHEAD_PERCENT}% ceiling — an emit site is "
+            f"doing work outside its guard"
+        )
+
     return {
         "qid": qid,
         "n_joins": n_joins,
@@ -117,6 +170,9 @@ def measure_query(
         "seconds": {leg: best[leg] for leg in LEGS},
         "speedup_optimized": best["baseline"] / best["optimized"],
         "speedup_warm_cache": best["optimized"] / best["cache_warm"],
+        "trace_off_overhead_percent": trace_off_overhead,
+        "trace_on_overhead_percent": trace_on_overhead,
+        "trace_events": counting_tracer.total,
         "plan_cache": cache.stats(),
     }
 
@@ -135,7 +191,9 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             f"optimized={point['seconds']['optimized']:.4f}s "
             f"warm={point['seconds']['cache_warm']:.6f}s "
             f"speedup={point['speedup_optimized']:.2f}x "
-            f"warm-speedup={point['speedup_warm_cache']:.0f}x"
+            f"warm-speedup={point['speedup_warm_cache']:.0f}x "
+            f"trace-off={point['trace_off_overhead_percent']:+.2f}% "
+            f"trace-on={point['trace_on_overhead_percent']:+.2f}%"
         )
         points.append(point)
     hot = [p for p in points if p["qid"] in ("Q7", "Q8")]
@@ -152,6 +210,9 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             "paths, pure-helper memos (defaults)",
             "cache_cold": "optimized + PlanCache attached, empty cache",
             "cache_warm": "optimized + PlanCache hit",
+            "trace_off": "optimized + NullTracer attached (guard-check "
+            "overhead only; gated < 2% when repeats >= 3)",
+            "trace_on": "optimized + CountingTracer receiving every event",
         },
         "queries": points,
         "summary": {
@@ -160,6 +221,12 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             ),
             "min_speedup_warm_cache": min(
                 p["speedup_warm_cache"] for p in points
+            ),
+            "max_trace_off_overhead_percent": max(
+                p["trace_off_overhead_percent"] for p in points
+            ),
+            "max_trace_on_overhead_percent": max(
+                p["trace_on_overhead_percent"] for p in points
             ),
         },
     }
@@ -207,9 +274,12 @@ def main(argv=None) -> int:
 
     floor = report["summary"]["q7_q8_min_speedup_optimized"]
     warm = report["summary"]["min_speedup_warm_cache"]
+    trace_off = report["summary"]["max_trace_off_overhead_percent"]
+    trace_on = report["summary"]["max_trace_on_overhead_percent"]
     print(
         f"Q7/Q8 rule-index+caches speedup: {floor:.2f}x; "
-        f"warm plan cache: {warm:.0f}x"
+        f"warm plan cache: {warm:.0f}x; "
+        f"tracing overhead off/on: {trace_off:+.2f}%/{trace_on:+.2f}%"
     )
     return 0
 

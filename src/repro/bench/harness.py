@@ -146,7 +146,11 @@ def _time_one(
 
 
 def run_query_point(
-    pair: OptimizerPair, qid: str, n_joins: int, instances: int
+    pair: OptimizerPair,
+    qid: str,
+    n_joins: int,
+    instances: int,
+    metrics=None,
 ) -> QueryPoint:
     """Average one (query, size) point over cardinality instances.
 
@@ -154,6 +158,13 @@ def run_query_point(
     invariants (equal best cost, equal memo statistics) are asserted on
     every instance — a benchmark that silently diverged would be
     reporting on two different optimizers.
+
+    ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`: each timed instance is
+    observed into per-provenance latency histograms
+    (``bench.prairie_seconds`` / ``bench.volcano_seconds``), the final
+    instance's :class:`~repro.volcano.search.SearchStats` are folded in
+    under ``search.``, and a ``bench.points`` counter tracks coverage.
     """
     prairie_times: list[float] = []
     volcano_times: list[float] = []
@@ -179,8 +190,14 @@ def run_query_point(
         prairie_times.append(p_time)
         volcano_times.append(v_time)
         result = p_result
+        if metrics is not None:
+            metrics.histogram("bench.prairie_seconds").observe(p_time)
+            metrics.histogram("bench.volcano_seconds").observe(v_time)
     assert result is not None
     stats = result.stats
+    if metrics is not None:
+        metrics.counter("bench.points").inc()
+        metrics.record_search_stats(stats)
     return QueryPoint(
         qid=qid,
         n_joins=n_joins,
@@ -202,6 +219,7 @@ def sweep_query(
     qid: str,
     config: ExperimentConfig,
     min_joins: int = 1,
+    metrics=None,
 ) -> "list[QueryPoint]":
     """One full curve: the query family swept over join counts."""
     from repro.workloads.queries import QUERIES
@@ -209,6 +227,6 @@ def sweep_query(
     template = QUERIES[qid].template
     max_joins = config.max_joins[template]
     return [
-        run_query_point(pair, qid, n, config.instances)
+        run_query_point(pair, qid, n, config.instances, metrics=metrics)
         for n in range(min_joins, max_joins + 1)
     ]

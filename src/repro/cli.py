@@ -97,6 +97,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--memo", action="store_true", help="also dump the memo contents"
     )
     optimize.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a structured search trace to FILE",
+    )
+    optimize.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: JSON-lines (default) or Chrome "
+        "chrome://tracing format",
+    )
+    optimize.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (search counters plus per-rule "
+        "firing counts) after optimizing",
+    )
+    optimize.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print EXPLAIN ANALYZE: the winning plan's derivation with "
+        "per-group timings and rule provenance",
+    )
+    optimize.add_argument(
         "--quiet", action="store_true", help="suppress search statistics"
     )
     optimize.add_argument(
@@ -193,7 +218,7 @@ def _cmd_translate(args, out) -> int:
 def _cmd_optimize(args, out) -> int:
     from repro.bench.harness import build_optimizer_pair
     from repro.volcano.bottomup import BottomUpOptimizer
-    from repro.volcano.explain import explain, explain_memo
+    from repro.volcano.explain import explain, explain_memo, explain_trace
     from repro.volcano.search import SearchOptions, VolcanoOptimizer
     from repro.workloads import make_query_instance
 
@@ -206,11 +231,18 @@ def _cmd_optimize(args, out) -> int:
         disabled_rules=frozenset(args.disable_rule),
         max_groups=args.max_groups,
     )
+    tracer = None
+    if args.trace or args.metrics or args.analyze:
+        from repro.obs import CollectingTracer
+
+        tracer = CollectingTracer()
     if args.engine == "bottomup":
-        optimizer = BottomUpOptimizer(ruleset, catalog)
+        optimizer = BottomUpOptimizer(ruleset, catalog, tracer=tracer)
         optimizer.options = options
     else:
-        optimizer = VolcanoOptimizer(ruleset, catalog, options=options)
+        optimizer = VolcanoOptimizer(
+            ruleset, catalog, options=options, tracer=tracer
+        )
     if args.profile is not None:
         import cProfile
         import io
@@ -229,6 +261,21 @@ def _cmd_optimize(args, out) -> int:
     out.write(explain(result, verbose=not args.quiet) + "\n")
     if args.memo:
         out.write("\nmemo:\n" + explain_memo(result) + "\n")
+    if args.analyze:
+        out.write("\n" + explain_trace(result, tracer.events) + "\n")
+    if args.trace:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        writer = write_chrome_trace if args.trace_format == "chrome" else write_jsonl
+        count = writer(tracer.events, args.trace)
+        out.write(f"\ntrace: {count} events -> {args.trace}\n")
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_search_stats(result.stats)
+        registry.count_trace(tracer.events)
+        out.write("\nmetrics:\n" + registry.format() + "\n")
     return 0
 
 

@@ -1,0 +1,107 @@
+"""Trace exporters: JSON-lines and Chrome ``chrome://tracing`` format.
+
+Two interchange formats for a collected trace:
+
+* **JSON-lines** — one event object per line, the same shape
+  :class:`~repro.obs.tracer.JsonLinesTracer` streams; round-trips
+  through :func:`read_jsonl` for offline analysis.
+* **Chrome trace format** — the JSON array the ``chrome://tracing`` /
+  Perfetto UI loads.  Span-shaped events (``optimize``,
+  ``optimize_group`` with an ``elapsed_s``) become complete ("X")
+  events with real durations; everything else becomes an instant ("i")
+  event, so rule firings show up as markers along the group spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, TextIO, Union
+
+from repro.obs.tracer import event_dicts
+
+#: (event type, span name) pairs: events carrying ``elapsed_s`` that
+#: render as duration spans in the Chrome trace viewer.
+_SPAN_EVENTS = {
+    "optimize_end": "optimize",
+    "optimize_group_end": "optimize_group",
+}
+
+
+def write_jsonl(events: Iterable, target: "Union[str, TextIO]") -> int:
+    """Write a trace as JSON-lines; returns the number of events written."""
+    records = event_dicts(events)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_jsonl(records, handle)
+    for record in records:
+        target.write(json.dumps(record, default=str) + "\n")
+    return len(records)
+
+
+def read_jsonl(source: "Union[str, TextIO]") -> "list[dict]":
+    """Read a JSON-lines trace back into event dicts."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            return read_jsonl(handle)
+    return [json.loads(line) for line in source if line.strip()]
+
+
+def _chrome_records(events: Iterable) -> "list[dict]":
+    records: list[dict] = []
+    for event in event_dicts(events):
+        etype = event["type"]
+        ts_us = event.get("ts", 0.0) * 1e6
+        args = {
+            k: v for k, v in event.items() if k not in ("type", "ts")
+        }
+        span_name = _SPAN_EVENTS.get(etype)
+        if span_name is not None and "elapsed_s" in event:
+            duration_us = event["elapsed_s"] * 1e6
+            label = span_name
+            if "gid" in event:
+                label = f"{span_name} g{event['gid']}"
+            records.append(
+                {
+                    "name": label,
+                    "cat": "search",
+                    "ph": "X",
+                    "ts": ts_us - duration_us,
+                    "dur": duration_us,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        else:
+            label = etype
+            if "rule" in event:
+                label = f"{etype}:{event['rule']}"
+            records.append(
+                {
+                    "name": label,
+                    "cat": "search",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts_us,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+    return records
+
+
+def write_chrome_trace(events: Iterable, target: "Union[str, TextIO]") -> int:
+    """Write a trace in Chrome trace format; returns the event count.
+
+    Load the resulting file in ``chrome://tracing`` or
+    https://ui.perfetto.dev to see group-optimization spans with rule
+    firings as instant markers.
+    """
+    records = _chrome_records(events)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": records}, handle, default=str)
+    else:
+        json.dump({"traceEvents": records}, target, default=str)
+    return len(records)

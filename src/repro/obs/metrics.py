@@ -1,0 +1,233 @@
+"""A small metrics registry: counters, gauges, monotonic-timer histograms.
+
+Where the tracer (:mod:`repro.obs.tracer`) records *what happened in
+order*, the registry records *how much and how fast* — the aggregate
+view a benchmark harness or a long-running service wants.  Three
+instrument kinds, all named and created on first use:
+
+* **Counter** — a monotonically increasing count (`inc`);
+* **Gauge** — a last-value measurement (`set`);
+* **Histogram** — running count/sum/min/max of observations, with a
+  :meth:`MetricsRegistry.timer` context manager that observes elapsed
+  seconds off the monotonic clock.
+
+Two bridges tie the registry to the rest of the stack:
+
+* :meth:`MetricsRegistry.record_search_stats` folds one optimization's
+  :class:`~repro.volcano.search.SearchStats` into counters and a
+  latency histogram — what ``bench/harness.py`` and the CLI's
+  ``--metrics`` flag use;
+* :meth:`MetricsRegistry.count_trace` derives per-rule firing counters
+  from a trace, keyed ``trace.<event type>.<rule name>`` — what the
+  differential tests diff to catch silent search-space divergence
+  between two engines or rule-set provenances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+#: Event types whose occurrences :meth:`MetricsRegistry.count_trace`
+#: breaks out per rule name (events without a ``rule`` field are
+#: counted under the bare event type).
+_RULE_EVENTS = (
+    "trans_fired",
+    "trans_rejected",
+    "impl_costed",
+    "impl_rejected",
+    "enforcer_applied",
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Running summary statistics over observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager observing elapsed monotonic seconds."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-able as a dict."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("phase"):`` observes elapsed seconds."""
+        return _Timer(self.histogram(name))
+
+    def _check_fresh(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered with a different kind"
+            )
+
+    # -- bridges --------------------------------------------------------------
+
+    def record_search_stats(self, stats, prefix: str = "search.") -> None:
+        """Fold one optimization's SearchStats into the registry.
+
+        Numeric fields become counters (summed across calls), the memo
+        sizes become gauges (last optimization wins), and the elapsed
+        time is observed into a ``<prefix>elapsed_seconds`` histogram.
+        """
+        snapshot = stats.as_dict()
+        elapsed = snapshot.pop("elapsed_seconds")
+        for gauge_key in ("groups", "mexprs"):
+            self.gauge(prefix + gauge_key).set(snapshot.pop(gauge_key))
+        for key, value in snapshot.items():
+            self.counter(prefix + key).inc(int(value))
+        self.histogram(prefix + "elapsed_seconds").observe(elapsed)
+
+    def count_trace(self, events: Iterable, prefix: str = "trace.") -> None:
+        """Derive counters from a trace: ``<prefix><type>[.<rule>]``.
+
+        Rule-level events (firings, rejections, costings) are broken out
+        per rule name; everything else is counted by event type alone.
+        """
+        from repro.obs.tracer import event_dicts
+
+        for event in event_dicts(events):
+            etype = event["type"]
+            if etype in _RULE_EVENTS and "rule" in event:
+                self.counter(f"{prefix}{etype}.{event['rule']}").inc()
+            else:
+                self.counter(prefix + etype).inc()
+
+    # -- snapshots ------------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Counter values, optionally filtered by name prefix."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def format(self) -> str:
+        """A human-readable multi-line rendering (CLI ``--metrics``)."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"  counter   {name} = {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"  gauge     {name} = {gauge.value}")
+        for name, histogram in sorted(self._histograms.items()):
+            h = histogram.as_dict()
+            lines.append(
+                f"  histogram {name}: n={h['count']} mean={h['mean']:.6f} "
+                f"min={h['min']:.6f} max={h['max']:.6f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Structured tracing for the optimizer stack.
+
+The search engine, memo, and plan cache emit *events* — small, flat
+records such as ``trans_fired`` or ``winner_filed`` — through a
+:class:`Tracer`.  The default is no tracer at all: every emit site in
+the hot path is guarded by an ``is not None`` check on a pre-resolved
+bound method, so a tracerless optimization executes the exact same
+instructions as before the observability layer existed (the
+``trace_off`` leg of ``benchmarks/bench_perf_search.py`` pins the
+overhead under 2%, and the property tests in ``tests/test_obs.py``
+assert bit-identical plans, costs, and statistics either way).
+
+Three concrete tracers cover the common shapes:
+
+* :class:`CollectingTracer` — buffers :class:`TraceEvent` objects in
+  memory; the input to :func:`repro.volcano.explain.explain_trace` and
+  :meth:`repro.obs.metrics.MetricsRegistry.count_trace`.
+* :class:`CountingTracer` — keeps only per-type counts; cheap enough
+  for overhead benchmarking of arbitrarily large searches.
+* :class:`JsonLinesTracer` — streams each event as one JSON object per
+  line (the ``prairie-opt optimize --trace FILE`` format; see
+  ``docs/observability.md`` for the event schema).
+
+Every event carries a ``ts`` — seconds since the tracer was created,
+measured on the monotonic clock — and event-specific fields in
+``data``.  Rule events additionally carry a ``provenance`` id minted at
+P2V translation time (:func:`repro.prairie.compile.mint_provenance`),
+mapping each Volcano firing back to its source Prairie T-/I-rule.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured trace event."""
+
+    type: str
+    ts: float
+    data: dict
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": self.type, "ts": self.ts, **self.data}
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.ts * 1000:9.3f}ms] {self.type} {fields}".rstrip()
+
+
+class Tracer:
+    """Base tracer: subclasses override :meth:`emit`.
+
+    ``enabled`` lets the engine skip all event construction for
+    :class:`NullTracer` without type checks; anything with
+    ``enabled=True`` receives every event.
+    """
+
+    enabled: bool = True
+
+    def emit(self, type: str, **data: Any) -> None:  # noqa: A002
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The default: accepts nothing, costs nothing."""
+
+    enabled = False
+
+    def emit(self, type: str, **data: Any) -> None:  # noqa: A002
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class CollectingTracer(Tracer):
+    """Buffers every event in memory (``tracer.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._epoch = time.perf_counter()
+
+    def emit(self, type: str, **data: Any) -> None:  # noqa: A002
+        self.events.append(
+            TraceEvent(type, time.perf_counter() - self._epoch, data)
+        )
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._epoch = time.perf_counter()
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [event.as_dict() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class CountingTracer(Tracer):
+    """Counts events per type, discarding payloads.
+
+    Constant memory regardless of search size — the tracer the overhead
+    benchmark drives, and a quick way to answer "how many times did X
+    happen" without buffering a whole trace.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def emit(self, type: str, **data: Any) -> None:  # noqa: A002
+        self.counts[type] = self.counts.get(type, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class JsonLinesTracer(Tracer):
+    """Streams events to a text handle, one JSON object per line.
+
+    The handle is owned by the caller unless :meth:`open` created it
+    (then :meth:`close` closes it).  Values that JSON cannot encode
+    (e.g. predicate objects) are stringified rather than rejected.
+    """
+
+    def __init__(self, handle: TextIO) -> None:
+        self._handle = handle
+        self._owns_handle = False
+        self._epoch = time.perf_counter()
+        self.emitted = 0
+
+    @classmethod
+    def open(cls, path: str) -> "JsonLinesTracer":
+        tracer = cls(open(path, "w", encoding="utf-8"))
+        tracer._owns_handle = True
+        return tracer
+
+    def emit(self, type: str, **data: Any) -> None:  # noqa: A002
+        record = {"type": type, "ts": time.perf_counter() - self._epoch}
+        record.update(data)
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+def event_dicts(events: "Iterable[TraceEvent | dict]") -> "list[dict]":
+    """Normalize a trace to plain dicts.
+
+    Accepts :class:`TraceEvent` objects (from a
+    :class:`CollectingTracer`), already-plain dicts (e.g. re-read from a
+    JSON-lines file), or a :class:`CollectingTracer` itself.
+    """
+    out: list[dict] = []
+    for event in events:
+        out.append(event.as_dict() if isinstance(event, TraceEvent) else dict(event))
+    return out

@@ -51,6 +51,33 @@ from repro.prairie.actions import (
 )
 from repro.prairie.helpers import HelperRegistry
 
+def mint_provenance(source: str, kind: str, name: str) -> str:
+    """Mint a rule-provenance id: ``<source>:<kind>:<name>``.
+
+    Minted once per rule at generation time — here for compiled Prairie
+    rules (``prairie:t_rule:join-commute``), and by
+    :class:`~repro.volcano.model.TransRule` and friends as the
+    ``volcano:`` default for hand-coded rules.  Trace events carry the
+    id so every Volcano firing maps back to the rule specification it
+    came from; :func:`split_provenance` inverts it.
+    """
+    for part, label in ((source, "source"), (kind, "kind")):
+        if not part or ":" in part:
+            raise TranslationError(
+                f"provenance {label} {part!r} must be a non-empty string "
+                f"without ':'"
+            )
+    if not name:
+        raise TranslationError("provenance rule name must be non-empty")
+    return f"{source}:{kind}:{name}"
+
+
+def split_provenance(provenance_id: str) -> "tuple[str, str, str]":
+    """Split a provenance id back into ``(source, kind, rule name)``."""
+    source, kind, name = provenance_id.split(":", 2)
+    return source, kind, name
+
+
 _BINOP_SOURCE = {
     "+": "+",
     "-": "-",

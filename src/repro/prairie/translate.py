@@ -33,7 +33,7 @@ from repro.algebra.properties import DONT_CARE
 from repro.errors import TranslationError
 from repro.prairie.actions import ActionBlock, ActionEnv, Test
 from repro.prairie.analysis import RuleSetAnalysis, analyse
-from repro.prairie.compile import compile_block, compile_test
+from repro.prairie.compile import compile_block, compile_test, mint_provenance
 from repro.prairie.merge import MergedRules, MergeReport, merge_rules
 from repro.prairie.rules import IRule, TRule
 from repro.prairie.ruleset import PrairieRuleSet
@@ -159,6 +159,7 @@ def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
         appl_code=appl_code,
         appl_code_fast=appl_code_fast,
         doc=rule.doc,
+        provenance_id=mint_provenance("prairie", "t_rule", rule.name),
     )
 
 
@@ -238,6 +239,7 @@ def _translate_i_rule(
         lhs=rule.lhs,
         rhs=rule.rhs,
         doc=rule.doc,
+        provenance_id=mint_provenance("prairie", "i_rule", rule.name),
         **callables,
     )
 
@@ -263,5 +265,6 @@ def _translate_enforcer(
         lhs=rule.lhs,
         rhs=rule.rhs,
         doc=rule.doc,
+        provenance_id=mint_provenance("prairie", "i_rule", rule.name),
         **callables,
     )

@@ -45,7 +45,12 @@ from repro.volcano.search import (
     VolcanoOptimizer,
 )
 from repro.volcano.bottomup import BottomUpOptimizer
-from repro.volcano.explain import explain, explain_memo, explain_plan
+from repro.volcano.explain import (
+    explain,
+    explain_memo,
+    explain_plan,
+    explain_trace,
+)
 from repro.volcano.normalize import normalize_query, optimize_normalized
 from repro.volcano.plancache import PlanCache, tree_fingerprint
 
@@ -57,6 +62,7 @@ __all__ = [
     "explain",
     "explain_memo",
     "explain_plan",
+    "explain_trace",
     "normalize_query",
     "optimize_normalized",
     "PropertyVector",

@@ -44,6 +44,7 @@ from repro.volcano.search import (
     SearchStats,
     VolcanoOptimizer,
     _SearchState,
+    _pv_text,
 )
 
 
@@ -57,8 +58,14 @@ class BottomUpOptimizer(VolcanoOptimizer):
     non-trivial; the root request is always computed correctly on top).
     """
 
-    def __init__(self, ruleset, catalog, interesting_orders: bool = True) -> None:
-        super().__init__(ruleset, catalog)
+    def __init__(
+        self,
+        ruleset,
+        catalog,
+        interesting_orders: bool = True,
+        tracer=None,
+    ) -> None:
+        super().__init__(ruleset, catalog, tracer=tracer)
         self.use_interesting_orders = interesting_orders
 
     def optimize(
@@ -79,7 +86,19 @@ class BottomUpOptimizer(VolcanoOptimizer):
             )
         memo = Memo(self.ruleset.argument_properties)
         stats = SearchStats()
-        state = _SearchState(memo, stats)
+        state = self._make_state(memo, stats)
+        emit = state.emit
+        if emit is not None:
+            root_op = (
+                tree.name if isinstance(tree, StoredFileRef) else tree.op.name
+            )
+            emit(
+                "optimize_begin",
+                engine=type(self).__name__,
+                ruleset=self.ruleset.name,
+                root_op=root_op,
+                required=_pv_text(required),
+            )
         root = memo.from_expression(tree)
 
         # Phase 1: exhaustive exploration (the growing-list loop also
@@ -115,8 +134,21 @@ class BottomUpOptimizer(VolcanoOptimizer):
         stats.mexprs = memo.mexpr_count
         stats.elapsed_seconds = time.perf_counter() - started
         if winner is None:
+            if emit is not None:
+                emit("optimize_failed", root_gid=root.gid)
             raise NoPlanFoundError(
                 f"no access plan delivers the requested properties for {tree}"
+            )
+        if emit is not None:
+            emit(
+                "optimize_end",
+                root_gid=root.gid,
+                required=_pv_text(required),
+                cost=winner.cost,
+                groups=stats.groups,
+                mexprs=stats.mexprs,
+                elapsed_s=stats.elapsed_seconds,
+                from_cache=False,
             )
         return OptimizationResult(winner.plan, winner.cost, stats, memo)
 

@@ -100,5 +100,118 @@ def explain_memo(result: OptimizationResult, limit: "int | None" = 40) -> str:
         lines.append(f"g{group.gid} ({len(group.mexprs)} alt): {members}")
     hidden = result.memo.group_count - len(groups)
     if hidden > 0:
-        lines.append(f"... and {hidden} more equivalence classes")
+        lines.append(f"... ({hidden} more equivalence classes)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE over a trace
+# ---------------------------------------------------------------------------
+
+
+def _event_rows(events) -> "list[tuple[str, float, dict]]":
+    """Normalize trace events (TraceEvent objects or exported flat dicts)."""
+    rows = []
+    for event in events:
+        if isinstance(event, dict):
+            data = {k: v for k, v in event.items() if k not in ("type", "ts")}
+            rows.append((event["type"], event.get("ts", 0.0), data))
+        else:
+            rows.append((event.type, event.ts, event.data))
+    return rows
+
+
+def _req_key(value) -> tuple:
+    """A hashable requirement key (JSON round-trips tuples as lists)."""
+    if value is None:
+        return ()
+    return tuple(value)
+
+
+def explain_trace(result: "OptimizationResult | None", events) -> str:
+    """EXPLAIN ANALYZE: the winning plan's derivation, read off a trace.
+
+    ``events`` is the event stream of one optimization — a
+    :class:`~repro.obs.CollectingTracer`'s events or dicts read back from
+    a JSON-lines export.  The rendering walks the ``winner_filed`` events
+    from the root request downward, annotating each (group, requirement)
+    with the implementation chosen, its Prairie/Volcano provenance, the
+    per-group inclusive optimization time, and the transformation rules
+    that fired on the group while the search ran.
+
+    ``result`` supplies the total-cost header; pass ``None`` when
+    rendering from an exported trace alone.
+    """
+    rows = _event_rows(events)
+
+    winners: dict = {}
+    timings: dict = {}
+    fired: dict = {}
+    end = None
+    for etype, _ts, data in rows:
+        if etype == "winner_filed":
+            winners[(data["gid"], _req_key(data.get("required")))] = data
+        elif etype == "optimize_group_end":
+            key = (data["gid"], _req_key(data.get("required")))
+            # the first completion carries the real search work; later
+            # requests for the same (group, requirement) are cache reads
+            timings.setdefault(key, data.get("elapsed_s", 0.0))
+        elif etype == "trans_fired":
+            fired.setdefault(data["gid"], []).append(data["rule"])
+        elif etype == "optimize_end":
+            end = data
+
+    lines: list[str] = []
+    if end is None:
+        return "no optimize_end event in trace (incomplete or empty trace)"
+    if end.get("from_cache"):
+        lines.append(
+            f"plan served from plan cache (cost={end.get('cost', 0.0):.2f}); "
+            "no search was run — re-optimize with an empty cache for a "
+            "derivation trace"
+        )
+        return "\n".join(lines)
+
+    cost = result.cost if result is not None else end.get("cost", 0.0)
+    elapsed_ms = end.get("elapsed_s", 0.0) * 1000
+    lines.append(
+        f"EXPLAIN ANALYZE  (cost={cost:.2f}, total={elapsed_ms:.2f} ms, "
+        f"{end.get('groups', '?')} groups, {end.get('mexprs', '?')} m-exprs)"
+    )
+
+    seen: set = set()
+
+    def render(gid: int, required: tuple, depth: int) -> None:
+        indent = "  " * depth
+        req_text = "(" + ", ".join(str(v) for v in required) + ")"
+        key = (gid, required)
+        winner = winners.get(key)
+        if winner is None:
+            lines.append(f"{indent}-> g{gid} {req_text}: no winner recorded")
+            return
+        if key in seen:
+            lines.append(
+                f"{indent}-> g{gid} {req_text}: (shared, shown above)"
+            )
+            return
+        seen.add(key)
+        ms = timings.get(key, 0.0) * 1000
+        lines.append(
+            f"{indent}-> g{gid} {req_text}: {winner.get('algorithm', '?')}"
+            f"  via {winner.get('rule', '?')} [{winner.get('provenance', '?')}]"
+            f"  (cost={winner.get('cost', 0.0):.2f}, time={ms:.3f} ms)"
+        )
+        rules = fired.get(gid)
+        if rules:
+            chain = ", ".join(dict.fromkeys(rules))
+            lines.append(f"{indent}   transformations: {chain}")
+        for child in winner.get("inputs", ()):
+            child_gid, child_req = child[0], _req_key(child[1])
+            render(child_gid, child_req, depth + 1)
+
+    root_gid = end.get("root_gid")
+    if root_gid is None:
+        lines.append("no root group recorded")
+    else:
+        render(root_gid, _req_key(end.get("required")), 0)
     return "\n".join(lines)

@@ -108,6 +108,11 @@ class Memo:
         self.argument_properties = argument_properties
         self.groups: list[Group] = []
         self._index: dict[tuple, MExpr] = {}
+        # Trace emit hook (``tracer.emit`` or None).  The search engine
+        # wires it up when a tracer is attached; standalone memos stay
+        # silent.  One ``is not None`` check per structural mutation —
+        # the tracing-off overhead the perf benchmark bounds.
+        self._emit = None
 
     # -- construction ---------------------------------------------------------
 
@@ -120,6 +125,8 @@ class Memo:
     def new_group(self, logical_descriptor: Descriptor) -> Group:
         group = Group(len(self.groups), logical_descriptor)
         self.groups.append(group)
+        if self._emit is not None:
+            self._emit("group_created", gid=group.gid)
         return group
 
     def probe(self, key: tuple) -> "MExpr | None":
@@ -190,6 +197,14 @@ class Memo:
         else:
             bucket.append(mexpr)
         self._index[key] = mexpr
+        if self._emit is not None:
+            self._emit(
+                "mexpr_inserted",
+                gid=group.gid,
+                op=mexpr.op_name,
+                inputs=mexpr.inputs,
+                is_file=mexpr.is_file,
+            )
         return mexpr, True
 
     def add_file(self, leaf: StoredFileRef) -> MExpr:

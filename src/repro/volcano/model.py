@@ -86,9 +86,19 @@ class TransRule:
     # rule-index fast path when present.
     appl_code_fast: "ApplCode | None" = None
     doc: str = ""
+    # Rule-provenance id carried on every trace event this rule fires
+    # (``prairie:t_rule:<name>`` when P2V-generated; defaults to the
+    # hand-coded marker).  See :func:`repro.prairie.compile.mint_provenance`.
+    provenance_id: "str | None" = None
 
     def __post_init__(self) -> None:
         from repro.algebra.patterns import descriptor_names
+        from repro.prairie.compile import mint_provenance
+
+        if self.provenance_id is None:
+            self.provenance_id = mint_provenance(
+                "volcano", "trans_rule", self.name
+            )
 
         # Cached: the engine consults these on every rule application.
         self._lhs_desc_names = frozenset(descriptor_names(self.lhs))
@@ -141,8 +151,15 @@ class ImplRule:
     derive_phy_prop: DerivePhyProp
     cost: CostFn
     doc: str = ""
+    provenance_id: "str | None" = None
 
     def __post_init__(self) -> None:
+        if self.provenance_id is None:
+            from repro.prairie.compile import mint_provenance
+
+            self.provenance_id = mint_provenance(
+                "volcano", "impl_rule", self.name
+            )
         if self.lhs.op_name != self.operator:
             raise RuleSetError(
                 f"impl_rule {self.name!r}: lhs operator {self.lhs.op_name!r} "
@@ -212,6 +229,7 @@ class Enforcer:
     derive_phy_prop: DerivePhyProp
     cost: CostFn
     doc: str = ""
+    provenance_id: "str | None" = None
 
     @property
     def op_desc_name(self) -> str:
@@ -228,6 +246,12 @@ class Enforcer:
         return self._rhs_input_descs[index]
 
     def __post_init__(self) -> None:
+        if self.provenance_id is None:
+            from repro.prairie.compile import mint_provenance
+
+            self.provenance_id = mint_provenance(
+                "volcano", "enforcer", self.name
+            )
         self._lhs_desc_names = _side_descriptor_names(self.lhs)
         self._rhs_desc_names = _side_descriptor_names(self.rhs)
         self._lhs_input_descs = _input_descriptor_names(self.lhs)

@@ -131,23 +131,34 @@ class PlanCache:
 
     # -- lookup / store -------------------------------------------------------
 
-    def lookup(self, key: tuple, catalog: Catalog) -> "CachedPlan | None":
+    def lookup(
+        self, key: tuple, catalog: Catalog, emit=None
+    ) -> "CachedPlan | None":
         """The valid entry for ``key``, or ``None`` (counts hit/miss).
 
         Entries stored against a mutated or different catalog are
-        discarded on sight and count as misses.
+        discarded on sight and count as misses.  ``emit`` is an optional
+        trace hook (``tracer.emit``): a ``plan_cache_hit`` or
+        ``plan_cache_miss`` event is emitted per lookup, the miss
+        carrying why (``"absent"`` or ``"stale"``).
         """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if emit is not None:
+                emit("plan_cache_miss", reason="absent")
             return None
         if not entry.is_valid(catalog):
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
+            if emit is not None:
+                emit("plan_cache_miss", reason="stale")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if emit is not None:
+            emit("plan_cache_hit", cost=entry.cost)
         return entry
 
     def store(
@@ -157,11 +168,15 @@ class PlanCache:
         cost: float,
         memo: Any,
         catalog: Catalog,
+        emit=None,
     ) -> CachedPlan:
         """Cache a finished optimization (evicting LRU past the bound).
 
         The plan is copied on the way in, so later caller-side mutation
-        of the returned plan cannot corrupt the cache.
+        of the returned plan cannot corrupt the cache.  ``emit`` is the
+        same optional trace hook :meth:`lookup` takes; a
+        ``plan_cache_store`` event (plus one ``plan_cache_evict`` per
+        displaced entry) is emitted.
         """
         entry = CachedPlan(
             plan=copy_plan(plan),
@@ -172,9 +187,13 @@ class PlanCache:
         )
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        if emit is not None:
+            emit("plan_cache_store", cost=cost, entries=len(self._entries))
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if emit is not None:
+                emit("plan_cache_evict", entries=len(self._entries))
         return entry
 
     # -- maintenance ----------------------------------------------------------

@@ -37,6 +37,7 @@ from typing import Any, Iterable, Optional, Union
 from repro.algebra.descriptors import Descriptor
 from repro.algebra.expressions import Expression, StoredFileRef
 from repro.algebra.patterns import PatternElem, PatternNode, PatternVar
+from repro.algebra.properties import DONT_CARE
 from repro.catalog.schema import Catalog
 from repro.errors import NoPlanFoundError, SearchError
 from repro.prairie.actions import ActionEnv, LazyFreshDescriptors
@@ -54,6 +55,15 @@ from repro.volcano.properties import (
 )
 
 _NO_PLAN = object()  # cached "no plan exists" marker in Group.winners
+
+
+def _pv_text(vector: "PropertyVector") -> tuple:
+    """A property vector as trace-event data: DONT_CARE renders as "*".
+
+    Used both when emitting events and when :func:`explain_trace`
+    correlates them, so the representation must stay stable.
+    """
+    return tuple("*" if value is DONT_CARE else value for value in vector)
 
 
 @dataclass
@@ -179,11 +189,22 @@ class SearchStats:
 
 @dataclass(slots=True)
 class Winner:
-    """The best plan found for one (group, required-vector) request."""
+    """The best plan found for one (group, required-vector) request.
+
+    The trailing fields are trace annotations: which rule produced the
+    plan root and which (group, required-vector) requests its inputs
+    were answered from.  They are filled **only when a tracer is
+    attached** (the ``winner_filed`` event and ``explain_trace`` read
+    them); a tracerless search leaves them at their defaults.
+    """
 
     plan: Union[Expression, StoredFileRef]
     cost: float
     delivered: PropertyVector
+    rule_name: str = ""
+    provenance: str = ""
+    algorithm: str = ""
+    input_requests: tuple = ()
 
 
 @dataclass
@@ -218,12 +239,17 @@ class VolcanoOptimizer:
         catalog: Catalog,
         options: "SearchOptions | None" = None,
         plan_cache: "PlanCache | None" = None,
+        tracer=None,
     ) -> None:
         ruleset.validate()
         self.ruleset = ruleset
         self.catalog = catalog
         self.options = options if options is not None else NO_HEURISTICS
         self.plan_cache = plan_cache
+        # Structured tracing (repro.obs): None or a NullTracer keeps the
+        # search on its unobserved hot path; anything with enabled=True
+        # receives the event stream documented in docs/observability.md.
+        self.tracer = tracer
         self.context = OptimizerContext(catalog=catalog, ruleset=ruleset)
         # Identity of a default-valued descriptor: most RHS descriptors
         # are never touched by the rule's actions, so their memo identity
@@ -255,19 +281,39 @@ class VolcanoOptimizer:
                 f"{len(phys)} physical properties"
             )
         required = intern_vector(required)
+        emit = self._emit_hook()
+        if emit is not None:
+            root_op = tree.name if isinstance(tree, StoredFileRef) else tree.op.name
+            emit(
+                "optimize_begin",
+                engine=type(self).__name__,
+                ruleset=self.ruleset.name,
+                root_op=root_op,
+                required=_pv_text(required),
+            )
         cache = self.plan_cache
         cache_key: "tuple | None" = None
         if cache is not None:
             cache_key = PlanCache.key_for(
                 self.ruleset, self.options, tree, required
             )
-            entry = cache.lookup(cache_key, self.catalog)
+            entry = cache.lookup(cache_key, self.catalog, emit)
             if entry is not None:
                 stats = SearchStats()
                 stats.plan_cache_hits = 1
                 stats.groups = entry.memo.group_count
                 stats.mexprs = entry.memo.mexpr_count
                 stats.elapsed_seconds = time.perf_counter() - started
+                if emit is not None:
+                    emit(
+                        "optimize_end",
+                        required=_pv_text(required),
+                        cost=entry.cost,
+                        groups=stats.groups,
+                        mexprs=stats.mexprs,
+                        elapsed_s=stats.elapsed_seconds,
+                        from_cache=True,
+                    )
                 return OptimizationResult(
                     copy_plan(entry.plan), entry.cost, stats, entry.memo
                 )
@@ -275,20 +321,58 @@ class VolcanoOptimizer:
         stats = SearchStats()
         if cache is not None:
             stats.plan_cache_misses = 1
-        state = _SearchState(memo, stats)
+        state = self._make_state(memo, stats)
         root = memo.from_expression(tree)
         winner = self._optimize_group(state, root.gid, required)
         stats.groups = memo.group_count
         stats.mexprs = memo.mexpr_count
         stats.elapsed_seconds = time.perf_counter() - started
         if winner is None:
+            if emit is not None:
+                emit(
+                    "optimize_failed",
+                    root_gid=root.gid,
+                    required=_pv_text(required),
+                )
             raise NoPlanFoundError(
                 f"no access plan delivers the requested properties for "
                 f"{tree}"
             )
         if cache is not None:
-            cache.store(cache_key, winner.plan, winner.cost, memo, self.catalog)
+            cache.store(
+                cache_key, winner.plan, winner.cost, memo, self.catalog, emit
+            )
+        if emit is not None:
+            emit(
+                "optimize_end",
+                root_gid=root.gid,
+                required=_pv_text(required),
+                cost=winner.cost,
+                groups=stats.groups,
+                mexprs=stats.mexprs,
+                elapsed_s=stats.elapsed_seconds,
+                from_cache=False,
+            )
         return OptimizationResult(winner.plan, winner.cost, stats, memo)
+
+    # -- tracing plumbing --------------------------------------------------------
+
+    def _emit_hook(self):
+        """``tracer.emit`` when tracing is live, else None.
+
+        Resolved once per optimize() call; every hot-path emit site
+        checks the resolved hook against None, which is the entire
+        tracing-off cost.
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.emit
+        return None
+
+    def _make_state(self, memo: Memo, stats: SearchStats) -> "_SearchState":
+        state = _SearchState(memo, stats, emit=self._emit_hook())
+        memo._emit = state.emit
+        return state
 
     # -- exploration (trans_rules to fixpoint) ----------------------------------
 
@@ -309,6 +393,8 @@ class VolcanoOptimizer:
             else:
                 self._explore_legacy(state, group, gid, options)
             group.explored = True
+            if state.emit is not None:
+                state.emit("group_explored", gid=gid, mexprs=len(group.mexprs))
         finally:
             state.exploring.discard(gid)
         return group.mexprs
@@ -387,16 +473,28 @@ class VolcanoOptimizer:
         appl_code = rule.appl_code
         if self.options.use_rule_index and rule.appl_code_fast is not None:
             appl_code = rule.appl_code_fast
+        emit = state.emit
+        if emit is not None:
+            emit("trans_attempt", rule=rule.name, gid=gid)
         matched = False
         for binding in match_mexpr(rule.lhs, mexpr, memo, expand, expand_op):
             matched = True
             state.stats.trans_considered += 1
             env = self._trans_env(rule, binding)
             if not rule.cond_code(env):
+                if emit is not None:
+                    emit("trans_rejected", rule=rule.name, gid=gid)
                 continue
             state.stats.trans_applicable.add(rule.name)
             appl_code(env)
             state.stats.trans_fired += 1
+            if emit is not None:
+                emit(
+                    "trans_fired",
+                    rule=rule.name,
+                    provenance=rule.provenance_id,
+                    gid=gid,
+                )
             self._build_rhs(state, rule.rhs, binding, env, target_group=gid)
         if matched:
             state.stats.trans_matched.add(rule.name)
@@ -513,10 +611,19 @@ class VolcanoOptimizer:
             return None  # break pathological cycles; not cached
         state.optimizing.add(request)
         state.stats.optimize_calls += 1
+        emit = state.emit
+        if emit is not None:
+            required_text = _pv_text(required)
+            emit("optimize_group_begin", gid=gid, required=required_text)
+            group_started = time.perf_counter()
         try:
             best: "Winner | None" = None
             if group.is_file_group:
                 best = self._file_winner(group, required)
+                if emit is not None and best is not None:
+                    best.rule_name = "<stored-file>"
+                    best.algorithm = group.mexprs[0].op_name
+                    best.provenance = f"file:{group.mexprs[0].op_name}"
             else:
                 self._explore(state, gid)
                 for mexpr in list(group.mexprs):
@@ -544,6 +651,26 @@ class VolcanoOptimizer:
                         best = candidate
             group.winners[required] = _NO_PLAN if best is None else best
             state.stats.winners_cached += 1
+            if emit is not None:
+                if best is None:
+                    emit("winner_none", gid=gid, required=required_text)
+                else:
+                    emit(
+                        "winner_filed",
+                        gid=gid,
+                        required=required_text,
+                        rule=best.rule_name,
+                        provenance=best.provenance,
+                        algorithm=best.algorithm,
+                        cost=best.cost,
+                        inputs=best.input_requests,
+                    )
+                emit(
+                    "optimize_group_end",
+                    gid=gid,
+                    required=required_text,
+                    elapsed_s=time.perf_counter() - group_started,
+                )
             return best
         finally:
             state.optimizing.discard(request)
@@ -623,31 +750,79 @@ class VolcanoOptimizer:
         apply_vector(op_descriptor, phys, required)
         env = self._impl_env(rule, op_descriptor, mexpr.inputs, state.memo)
         state.stats.impl_considered += 1
+        emit = state.emit
+        gid = mexpr.group_id
+        if emit is not None:
+            emit("impl_attempt", rule=rule.name, gid=gid, op=mexpr.op_name)
         if not rule.cond_code(env):
+            if emit is not None:
+                emit(
+                    "impl_rejected", rule=rule.name, gid=gid, reason="condition"
+                )
             return None
         state.stats.impl_applicable.add(rule.name)
         if not rule.do_any_good(env):
+            if emit is not None:
+                emit(
+                    "impl_rejected", rule=rule.name, gid=gid, reason="no_good"
+                )
             return None
         child_plans: list[Winner] = []
+        input_requests: "list[tuple] | None" = [] if emit is not None else None
         accumulated = 0.0
         prune_on_inputs = self.options.monotone_costs and best_so_far is not None
         for index, child_gid in enumerate(mexpr.inputs):
             input_pv = intern_vector(rule.get_input_pv(env, index))
             sub = self._optimize_group(state, child_gid, input_pv)
             if sub is None:
+                if emit is not None:
+                    emit(
+                        "impl_rejected",
+                        rule=rule.name,
+                        gid=gid,
+                        reason="no_input_plan",
+                    )
                 return None
             accumulated += sub.cost
             if prune_on_inputs and accumulated >= best_so_far.cost:
                 # Classic DP bound — only sound when the cost model is
                 # declared monotone (see SearchOptions.monotone_costs).
+                if emit is not None:
+                    emit(
+                        "prune",
+                        rule=rule.name,
+                        gid=gid,
+                        kind="inputs",
+                        accumulated=accumulated,
+                        bound=best_so_far.cost,
+                    )
                 return None
             self._record_input_result(rule, env, index, sub)
             child_plans.append(sub)
+            if input_requests is not None:
+                input_requests.append((child_gid, _pv_text(input_pv)))
         cost = rule.cost(env)
         delivered = rule.derive_phy_prop(env)
         if not satisfies(delivered, required):
+            if emit is not None:
+                emit(
+                    "impl_rejected",
+                    rule=rule.name,
+                    gid=gid,
+                    reason="properties",
+                )
             return None
         if best_so_far is not None and cost >= best_so_far.cost:
+            # Branch-and-bound: costed, but the running best already wins.
+            if emit is not None:
+                emit(
+                    "prune",
+                    rule=rule.name,
+                    gid=gid,
+                    kind="cost",
+                    cost=cost,
+                    bound=best_so_far.cost,
+                )
             return None
         state.stats.impl_succeeded += 1
         plan = Expression(
@@ -655,7 +830,21 @@ class VolcanoOptimizer:
             tuple(p.plan for p in child_plans),
             env.descriptor(rule.alg_desc_name).copy(),
         )
-        return Winner(plan=plan, cost=cost, delivered=delivered)
+        winner = Winner(plan=plan, cost=cost, delivered=delivered)
+        if emit is not None:
+            winner.rule_name = rule.name
+            winner.provenance = rule.provenance_id
+            winner.algorithm = rule.algorithm.name
+            winner.input_requests = tuple(input_requests)
+            emit(
+                "impl_costed",
+                rule=rule.name,
+                provenance=rule.provenance_id,
+                gid=gid,
+                algorithm=rule.algorithm.name,
+                cost=cost,
+            )
+        return winner
 
     def _apply_enforcer(
         self,
@@ -669,9 +858,25 @@ class VolcanoOptimizer:
         op_descriptor = group.logical_descriptor.copy()
         apply_vector(op_descriptor, phys, required)
         env = self._impl_env(enforcer, op_descriptor, (group.gid,), state.memo)
+        emit = state.emit
+        gid = group.gid
         if not enforcer.cond_code(env):
+            if emit is not None:
+                emit(
+                    "enforcer_rejected",
+                    rule=enforcer.name,
+                    gid=gid,
+                    reason="condition",
+                )
             return None
         if not enforcer.do_any_good(env):
+            if emit is not None:
+                emit(
+                    "enforcer_rejected",
+                    rule=enforcer.name,
+                    gid=gid,
+                    reason="no_good",
+                )
             return None
         input_pv = intern_vector(enforcer.get_input_pv(env, 0))
         if input_pv == required:
@@ -684,13 +889,38 @@ class VolcanoOptimizer:
             and best_so_far is not None
             and sub.cost >= best_so_far.cost
         ):
+            if emit is not None:
+                emit(
+                    "prune",
+                    rule=enforcer.name,
+                    gid=gid,
+                    kind="inputs",
+                    accumulated=sub.cost,
+                    bound=best_so_far.cost,
+                )
             return None
         self._record_input_result(enforcer, env, 0, sub)
         cost = enforcer.cost(env)
         delivered = enforcer.derive_phy_prop(env)
         if not satisfies(delivered, required):
+            if emit is not None:
+                emit(
+                    "enforcer_rejected",
+                    rule=enforcer.name,
+                    gid=gid,
+                    reason="properties",
+                )
             return None
         if best_so_far is not None and cost >= best_so_far.cost:
+            if emit is not None:
+                emit(
+                    "prune",
+                    rule=enforcer.name,
+                    gid=gid,
+                    kind="cost",
+                    cost=cost,
+                    bound=best_so_far.cost,
+                )
             return None
         state.stats.enforcer_applied += 1
         plan = Expression(
@@ -698,20 +928,39 @@ class VolcanoOptimizer:
             (sub.plan,),
             env.descriptor(enforcer.alg_desc_name).copy(),
         )
-        return Winner(plan=plan, cost=cost, delivered=delivered)
+        winner = Winner(plan=plan, cost=cost, delivered=delivered)
+        if emit is not None:
+            winner.rule_name = enforcer.name
+            winner.provenance = enforcer.provenance_id
+            winner.algorithm = enforcer.algorithm.name
+            winner.input_requests = ((gid, _pv_text(input_pv)),)
+            emit(
+                "enforcer_applied",
+                rule=enforcer.name,
+                provenance=enforcer.provenance_id,
+                gid=gid,
+                algorithm=enforcer.algorithm.name,
+                cost=cost,
+            )
+        return winner
 
 
 class _SearchState:
-    """Per-optimization mutable state (memo, stats, re-entrancy guards)."""
+    """Per-optimization mutable state (memo, stats, re-entrancy guards).
 
-    __slots__ = ("memo", "stats", "exploring", "optimizing", "fired")
+    ``emit`` is the resolved trace hook — ``tracer.emit`` when tracing
+    is live, else None; every emit site in the engine guards on it.
+    """
 
-    def __init__(self, memo: Memo, stats: SearchStats) -> None:
+    __slots__ = ("memo", "stats", "exploring", "optimizing", "fired", "emit")
+
+    def __init__(self, memo: Memo, stats: SearchStats, emit=None) -> None:
         self.memo = memo
         self.stats = stats
         self.exploring: set[int] = set()
         self.optimizing: set[tuple] = set()
         self.fired: set[tuple] = set()
+        self.emit = emit
 
 
 _NO_WINNER = object()  # "cache miss" marker distinct from cached _NO_PLAN

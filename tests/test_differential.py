@@ -9,6 +9,7 @@ counts, same memo sizes — on every query family.
 
 import pytest
 
+from repro.obs import CollectingTracer, MetricsRegistry
 from repro.volcano.search import VolcanoOptimizer
 from repro.workloads import make_query_instance
 from repro.workloads.catalogs import make_experiment_catalog
@@ -22,6 +23,16 @@ def run_pair(generated, hand, schema, qid, n_joins, instance):
     catalog2, tree2 = make_query_instance(schema, qid, n_joins, instance)
     hand_result = VolcanoOptimizer(hand, catalog2).optimize(tree2)
     return generated_result, hand_result
+
+
+def rule_counters(ruleset, schema, qid, n_joins, instance):
+    """Per-rule firing counters (MetricsRegistry.count_trace) for one run."""
+    catalog, tree = make_query_instance(schema, qid, n_joins, instance)
+    tracer = CollectingTracer()
+    VolcanoOptimizer(ruleset, catalog, tracer=tracer).optimize(tree)
+    registry = MetricsRegistry()
+    registry.count_trace(tracer.events)
+    return registry.counters("trace.")
 
 
 class TestRelationalPair:
@@ -101,3 +112,47 @@ class TestOodbPair:
             )
             assert a.cost == pytest.approx(b.cost, rel=1e-12)
             assert a.equivalence_classes == b.equivalence_classes
+
+
+class TestRuleFiringCounters:
+    """The observability-layer refinement of the differential oracle:
+    not just *how many* rules fired in total, but *which* rules fired
+    *how often* — per-rule counters derived from the trace.  A silent
+    search-space divergence between the two provenances (one rule
+    compensating for another) passes the aggregate checks above but
+    fails here."""
+
+    @pytest.mark.parametrize("qid", ["Q1", "Q3", "Q5", "Q7"])
+    def test_oodb_per_rule_counters_identical(
+        self, schema, oodb_volcano_generated, oodb_volcano_hand, qid
+    ):
+        a = rule_counters(oodb_volcano_generated, schema, qid, 2, 0)
+        b = rule_counters(oodb_volcano_hand, schema, qid, 2, 0)
+        assert a == b
+        assert any(key.startswith("trace.trans_fired.") for key in a)
+
+    def test_relational_per_rule_counters_identical(
+        self, schema, relational_volcano_generated, relational_volcano_hand
+    ):
+        def counters(ruleset):
+            catalog = make_experiment_catalog(
+                4, with_targets=False, instance=1
+            )
+            tree = build_e1(TreeBuilder(schema, catalog), 3)
+            tracer = CollectingTracer()
+            VolcanoOptimizer(ruleset, catalog, tracer=tracer).optimize(tree)
+            registry = MetricsRegistry()
+            registry.count_trace(tracer.events)
+            out = {}
+            for key, value in registry.counters("trace.").items():
+                # The two provenances name their (single) sort enforcer
+                # differently; collapse enforcer counters to the event
+                # type so only behaviour, not labels, is compared.
+                if key.startswith("trace.enforcer_applied."):
+                    key = "trace.enforcer_applied"
+                out[key] = out.get(key, 0) + value
+            return out
+
+        assert counters(relational_volcano_generated) == counters(
+            relational_volcano_hand
+        )

@@ -108,6 +108,20 @@ class TestExplain:
         assert text.count("\n") >= 2
         assert "more equivalence classes" in text
 
+    def test_explain_memo_footer_states_hidden_count(self, result):
+        """Truncation is explicit: the footer says exactly how many
+        classes the limit hid, for every limit."""
+        total = result.equivalence_classes
+        for limit in (1, 3, total - 1):
+            text = explain_memo(result, limit=limit)
+            hidden = total - limit
+            assert text.endswith(f"... ({hidden} more equivalence classes)")
+            assert len(text.splitlines()) == limit + 1
+
+    def test_explain_memo_no_footer_at_exact_limit(self, result):
+        text = explain_memo(result, limit=result.equivalence_classes)
+        assert "more equivalence classes" not in text
+
     def test_explain_memo_full(self, result):
         text = explain_memo(result, limit=None)
         assert "more equivalence classes" not in text

@@ -1,0 +1,398 @@
+"""Tests for the observability layer (repro.obs).
+
+Three layers of coverage:
+
+* unit tests of the tracers, metrics registry, and exporters;
+* integration tests of the engine's event stream — a golden-trace test
+  pinning the event sequence for a small Q1 search, and the EXPLAIN
+  ANALYZE rendering;
+* the zero-overhead contract: a hypothesis property test asserting that
+  attaching a tracer (or the NullTracer) changes *nothing* about the
+  optimization outcome — bit-identical plans, costs, and statistics.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    NULL_TRACER,
+    CollectingTracer,
+    CountingTracer,
+    JsonLinesTracer,
+    MetricsRegistry,
+    NullTracer,
+    TraceEvent,
+    event_dicts,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.volcano.bottomup import BottomUpOptimizer
+from repro.volcano.explain import explain_trace
+from repro.volcano.plancache import PlanCache
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.queries import make_query_instance
+
+
+# ---------------------------------------------------------------------------
+# Tracer units
+# ---------------------------------------------------------------------------
+
+
+class TestTracers:
+    def test_null_tracer_is_disabled(self):
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.emit("anything", x=1) is None
+
+    def test_collecting_tracer_buffers_in_order(self):
+        tracer = CollectingTracer()
+        tracer.emit("first", a=1)
+        tracer.emit("second", b=2)
+        assert [e.type for e in tracer.events] == ["first", "second"]
+        assert tracer.events[0].data == {"a": 1}
+        assert len(tracer) == 2
+        assert list(tracer) == tracer.events
+
+    def test_collecting_tracer_timestamps_monotonic(self):
+        tracer = CollectingTracer()
+        for i in range(5):
+            tracer.emit("tick", i=i)
+        stamps = [e.ts for e in tracer.events]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+
+    def test_collecting_tracer_clear(self):
+        tracer = CollectingTracer()
+        tracer.emit("x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_counting_tracer(self):
+        tracer = CountingTracer()
+        tracer.emit("a")
+        tracer.emit("a", payload="discarded")
+        tracer.emit("b")
+        assert tracer.counts == {"a": 2, "b": 1}
+        assert tracer.total == 3
+
+    def test_jsonl_tracer_streams(self):
+        buffer = io.StringIO()
+        tracer = JsonLinesTracer(buffer)
+        tracer.emit("rule_fired", rule="join_commute", gid=3)
+        tracer.emit("odd_value", obj=object())  # stringified, not rejected
+        assert tracer.emitted == 2
+        lines = buffer.getvalue().strip().splitlines()
+        first = json.loads(lines[0])
+        assert first["type"] == "rule_fired"
+        assert first["rule"] == "join_commute"
+        assert "ts" in first
+        json.loads(lines[1])  # still valid JSON
+
+    def test_event_dicts_accepts_both_shapes(self):
+        event = TraceEvent("t", 0.5, {"k": "v"})
+        plain = {"type": "u", "ts": 0.6, "w": 1}
+        out = event_dicts([event, plain])
+        assert out == [{"type": "t", "ts": 0.5, "k": "v"}, plain]
+
+    def test_trace_event_str(self):
+        event = TraceEvent("trans_fired", 0.001, {"rule": "r"})
+        text = str(event)
+        assert "trans_fired" in text and "rule=r" in text
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry units
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(7.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["gauges"]["g"] == 7.5
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h"]["mean"] == 2.0
+        assert snapshot["histograms"]["h"]["min"] == 1.0
+        assert snapshot["histograms"]["h"]["max"] == 3.0
+
+    def test_negative_counter_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase"):
+            pass
+        h = registry.histogram("phase")
+        assert h.count == 1
+        assert h.total >= 0.0
+
+    def test_count_trace_breaks_out_rules(self):
+        registry = MetricsRegistry()
+        events = [
+            TraceEvent("trans_fired", 0.0, {"rule": "a"}),
+            TraceEvent("trans_fired", 0.0, {"rule": "a"}),
+            TraceEvent("trans_fired", 0.0, {"rule": "b"}),
+            TraceEvent("group_created", 0.0, {"gid": 0}),
+        ]
+        registry.count_trace(events)
+        counters = registry.counters("trace.")
+        assert counters["trace.trans_fired.a"] == 2
+        assert counters["trace.trans_fired.b"] == 1
+        assert counters["trace.group_created"] == 1
+
+    def test_record_search_stats(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        result = VolcanoOptimizer(oodb_volcano_generated, catalog).optimize(tree)
+        registry = MetricsRegistry()
+        registry.record_search_stats(result.stats)
+        snapshot = registry.as_dict()
+        assert snapshot["gauges"]["search.groups"] == result.stats.groups
+        assert snapshot["counters"]["search.trans_fired"] == result.stats.trans_fired
+        assert snapshot["histograms"]["search.elapsed_seconds"]["count"] == 1
+        assert registry.format()  # renders without blowing up
+
+    def test_counters_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("a.x").inc()
+        registry.counter("b.y").inc()
+        assert set(registry.counters("a.")) == {"a.x"}
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExporters:
+    def _trace(self, schema, ruleset, qid="Q1", n_joins=1):
+        catalog, tree = make_query_instance(schema, qid, n_joins, 0)
+        tracer = CollectingTracer()
+        result = VolcanoOptimizer(ruleset, catalog, tracer=tracer).optimize(tree)
+        return result, tracer
+
+    def test_jsonl_round_trip(self, schema, oodb_volcano_generated, tmp_path):
+        _, tracer = self._trace(schema, oodb_volcano_generated)
+        path = str(tmp_path / "trace.jsonl")
+        written = write_jsonl(tracer.events, path)
+        assert written == len(tracer)
+        back = read_jsonl(path)
+        assert len(back) == written
+        assert [e["type"] for e in back] == [e.type for e in tracer.events]
+
+    def test_chrome_trace_shape(self, schema, oodb_volcano_generated, tmp_path):
+        _, tracer = self._trace(schema, oodb_volcano_generated)
+        path = str(tmp_path / "trace.json")
+        written = write_chrome_trace(tracer.events, path)
+        assert written == len(tracer)
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        records = doc["traceEvents"]
+        phases = {r["ph"] for r in records}
+        assert phases <= {"X", "i"}
+        spans = [r for r in records if r["ph"] == "X"]
+        assert spans, "optimize/optimize_group spans expected"
+        for span in spans:
+            assert span["dur"] >= 0
+            assert span["ts"] >= 0 or span["dur"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: the event stream itself
+# ---------------------------------------------------------------------------
+
+
+def optimize_traced(ruleset, catalog, tree, engine=VolcanoOptimizer, **kwargs):
+    tracer = CollectingTracer()
+    result = engine(ruleset, catalog, tracer=tracer, **kwargs).optimize(tree)
+    return result, tracer
+
+
+class TestEngineEvents:
+    def test_golden_trace_q1_stable(self, schema, oodb_volcano_generated):
+        """The event sequence for a fixed small query is deterministic:
+        two runs produce the same events with the same payloads
+        (timestamps aside)."""
+
+        def run():
+            catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+            _, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+            skeleton = []
+            for event in tracer.events:
+                data = {
+                    k: v
+                    for k, v in event.data.items()
+                    if k not in ("elapsed_s",)
+                }
+                skeleton.append((event.type, tuple(sorted(data.items()))))
+            return skeleton
+
+        first, second = run(), run()
+        assert first == second
+
+    def test_golden_trace_q1_structure(self, schema, oodb_volcano_generated):
+        """The trace starts/ends correctly and contains the event kinds
+        a real search must produce."""
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        result, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+        types = [e.type for e in tracer.events]
+        assert types[0] == "optimize_begin"
+        assert types[-1] == "optimize_end"
+        for expected in (
+            "group_created",
+            "mexpr_inserted",
+            "group_explored",
+            "trans_attempt",
+            "trans_fired",
+            "impl_attempt",
+            "impl_costed",
+            "optimize_group_begin",
+            "optimize_group_end",
+            "winner_filed",
+        ):
+            assert expected in types, f"missing {expected}"
+        end = tracer.events[-1].data
+        assert end["cost"] == pytest.approx(result.cost)
+        assert end["groups"] == result.stats.groups
+        assert end["mexprs"] == result.stats.mexprs
+        assert end["from_cache"] is False
+
+    def test_group_events_match_memo(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        result, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+        created = [e for e in tracer.events if e.type == "group_created"]
+        inserted = [e for e in tracer.events if e.type == "mexpr_inserted"]
+        assert len(created) == result.stats.groups
+        assert len(inserted) == result.stats.mexprs
+        assert sorted(e.data["gid"] for e in created) == list(
+            range(result.stats.groups)
+        )
+
+    def test_trans_fired_count_matches_stats(
+        self, schema, oodb_volcano_generated
+    ):
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        result, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+        fired = sum(1 for e in tracer.events if e.type == "trans_fired")
+        assert fired == result.stats.trans_fired
+
+    def test_bottomup_engine_traces(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        result, tracer = optimize_traced(
+            oodb_volcano_generated, catalog, tree, engine=BottomUpOptimizer
+        )
+        types = [e.type for e in tracer.events]
+        assert types[0] == "optimize_begin"
+        assert tracer.events[0].data["engine"] == "BottomUpOptimizer"
+        assert types[-1] == "optimize_end"
+        assert tracer.events[-1].data["cost"] == pytest.approx(result.cost)
+
+    def test_explain_trace_renders(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        result, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+        text = explain_trace(result, tracer.events)
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert f"cost={result.cost:.2f}" in text
+        assert "ms" in text  # per-group timings rendered
+        assert "prairie:i_rule:" in text  # provenance annotations
+        assert "transformations:" in text  # the rule chain
+
+    def test_explain_trace_from_exported_dicts(
+        self, schema, oodb_volcano_generated
+    ):
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        result, tracer = optimize_traced(oodb_volcano_generated, catalog, tree)
+        buffer = io.StringIO()
+        write_jsonl(tracer.events, buffer)
+        buffer.seek(0)
+        live = explain_trace(result, tracer.events)
+        replayed = explain_trace(result, read_jsonl(buffer))
+        assert replayed == live
+
+    def test_explain_trace_empty_trace(self):
+        assert "no optimize_end" in explain_trace(None, [])
+
+    def test_explain_trace_cache_hit(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        tracer = CollectingTracer()
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            plan_cache=PlanCache(),
+            tracer=tracer,
+        )
+        optimizer.optimize(tree)
+        tracer.clear()
+        result = optimizer.optimize(tree)
+        text = explain_trace(result, tracer.events)
+        assert "plan cache" in text
+
+
+# ---------------------------------------------------------------------------
+# The zero-overhead contract: tracing changes nothing
+# ---------------------------------------------------------------------------
+
+
+def outcome(schema, ruleset, qid, n_joins, instance, tracer, engine):
+    catalog, tree = make_query_instance(schema, qid, n_joins, instance)
+    result = engine(ruleset, catalog, tracer=tracer).optimize(tree)
+    stats = result.stats.as_dict()
+    stats.pop("elapsed_seconds")  # wall-clock, legitimately differs
+    return result.plan.signature(), result.cost, stats
+
+
+class TestTracingIsPure:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        qid=st.sampled_from(["Q1", "Q3", "Q5", "Q7"]),
+        n_joins=st.integers(1, 2),
+        instance=st.integers(0, 2),
+        engine=st.sampled_from([VolcanoOptimizer, BottomUpOptimizer]),
+    )
+    def test_tracer_on_off_bit_identical(
+        self, schema, oodb_volcano_generated, qid, n_joins, instance, engine
+    ):
+        """Plans, costs, and statistics are identical with no tracer,
+        with the NullTracer, and with a live CollectingTracer."""
+        bare = outcome(
+            schema, oodb_volcano_generated, qid, n_joins, instance, None, engine
+        )
+        null = outcome(
+            schema,
+            oodb_volcano_generated,
+            qid,
+            n_joins,
+            instance,
+            NULL_TRACER,
+            engine,
+        )
+        live = outcome(
+            schema,
+            oodb_volcano_generated,
+            qid,
+            n_joins,
+            instance,
+            CollectingTracer(),
+            engine,
+        )
+        assert bare == null == live

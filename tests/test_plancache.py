@@ -277,6 +277,73 @@ class TestOptimizerIntegration:
         # Explicit don't-care equals the default requirement: same key.
         assert result.stats.plan_cache_hits == 1
 
+    def test_cache_events_traced(self, schema, oodb_volcano_generated):
+        """Cold miss, store, and warm hit all show up in the trace."""
+        from repro.obs import CollectingTracer
+
+        catalog, tree = make_query_instance(schema, "Q5", 1, 0)
+        tracer = CollectingTracer()
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            plan_cache=PlanCache(),
+            tracer=tracer,
+        )
+        cold = optimizer.optimize(tree)
+        cold_types = [e.type for e in tracer.events]
+        assert "plan_cache_miss" in cold_types
+        assert "plan_cache_store" in cold_types
+        assert "plan_cache_hit" not in cold_types
+        miss = next(e for e in tracer.events if e.type == "plan_cache_miss")
+        assert miss.data["reason"] == "absent"
+
+        tracer.clear()
+        warm = optimizer.optimize(tree)
+        warm_types = [e.type for e in tracer.events]
+        assert "plan_cache_hit" in warm_types
+        assert "plan_cache_miss" not in warm_types
+        hit = next(e for e in tracer.events if e.type == "plan_cache_hit")
+        assert hit.data["cost"] == pytest.approx(cold.cost)
+        # A hit short-circuits the search: the trace ends immediately.
+        assert warm_types[-1] == "optimize_end"
+        assert tracer.events[-1].data["from_cache"] is True
+        assert warm.cost == cold.cost
+
+    def test_stale_and_evict_events_traced(
+        self, schema, oodb_volcano_generated
+    ):
+        from repro.obs import CollectingTracer
+
+        catalog, tree = make_query_instance(schema, "Q5", 1, 0)
+        tracer = CollectingTracer()
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated,
+            catalog,
+            plan_cache=PlanCache(max_entries=1),
+            tracer=tracer,
+        )
+        optimizer.optimize(tree)
+        catalog.add(StoredFileInfo("ZZZ_new", ("z1", "z2"), 10, 50))
+        tracer.clear()
+        optimizer.optimize(tree)
+        miss = next(e for e in tracer.events if e.type == "plan_cache_miss")
+        assert miss.data["reason"] == "stale"
+
+    def test_evict_event_emitted(self):
+        cache = PlanCache(max_entries=1)
+        catalog = FakeCatalog()
+        events = []
+
+        def emit(etype, **data):
+            events.append((etype, data))
+
+        cache.store(("a",), file_plan(), 1.0, memo=None, catalog=catalog, emit=emit)
+        cache.store(("b",), file_plan(), 2.0, memo=None, catalog=catalog, emit=emit)
+        types = [etype for etype, _ in events]
+        assert types == ["plan_cache_store", "plan_cache_store", "plan_cache_evict"]
+        evict = events[-1][1]
+        assert evict["entries"] == 1
+
 
 # ---------------------------------------------------------------------------
 # The memo's cross-group guard (what the engine's fast path opts out of)

@@ -1,0 +1,142 @@
+"""Rule-provenance tests: every Volcano firing maps back to its source.
+
+P2V mints a provenance id for each rule it generates
+(``prairie:<kind>:<name>``); hand-coded Volcano rules get a
+``volcano:<kind>:<name>`` id by default.  These tests pin the minting
+scheme itself and the end-to-end property the observability layer
+promises: every rule event in a trace of a P2V-generated optimizer
+resolves to a named rule of the source Prairie rule set.
+"""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.obs import CollectingTracer
+from repro.prairie.compile import mint_provenance, split_provenance
+from repro.volcano.search import VolcanoOptimizer
+from repro.workloads.queries import make_query_instance
+
+#: Trace event types that must carry a provenance id.
+RULE_EVENTS = ("trans_fired", "impl_costed", "enforcer_applied")
+
+
+class TestMinting:
+    def test_mint_and_split_round_trip(self):
+        pid = mint_provenance("prairie", "t_rule", "join_commute")
+        assert pid == "prairie:t_rule:join_commute"
+        assert split_provenance(pid) == ("prairie", "t_rule", "join_commute")
+
+    def test_name_may_contain_colons(self):
+        pid = mint_provenance("prairie", "i_rule", "weird:name")
+        assert split_provenance(pid) == ("prairie", "i_rule", "weird:name")
+
+    @pytest.mark.parametrize(
+        "source,kind,name",
+        [("", "k", "n"), ("s", "", "n"), ("s", "k", ""), ("a:b", "k", "n"), ("s", "k:x", "n")],
+    )
+    def test_bad_components_rejected(self, source, kind, name):
+        with pytest.raises(TranslationError):
+            mint_provenance(source, kind, name)
+
+
+class TestRuleSetProvenance:
+    def test_generated_rules_carry_prairie_ids(self, oodb_volcano_generated):
+        for rule in oodb_volcano_generated.trans_rules:
+            assert rule.provenance_id == f"prairie:t_rule:{rule.name}"
+        for rule in oodb_volcano_generated.impl_rules:
+            assert rule.provenance_id == f"prairie:i_rule:{rule.name}"
+        for enforcer in oodb_volcano_generated.enforcers:
+            assert enforcer.provenance_id == f"prairie:i_rule:{enforcer.name}"
+
+    def test_hand_coded_rules_default_to_volcano_ids(self, oodb_volcano_hand):
+        for rule in oodb_volcano_hand.trans_rules:
+            assert rule.provenance_id == f"volcano:trans_rule:{rule.name}"
+        for rule in oodb_volcano_hand.impl_rules:
+            assert rule.provenance_id == f"volcano:impl_rule:{rule.name}"
+
+    def test_generated_ids_resolve_to_prairie_rules(
+        self, oodb_prairie, oodb_volcano_generated
+    ):
+        """Static version of the end-to-end property: the name component
+        of every generated id names a rule in the Prairie source."""
+        prairie_names = {r.name for r in oodb_prairie.t_rules}
+        prairie_names.update(r.name for r in oodb_prairie.i_rules)
+        for collection in (
+            oodb_volcano_generated.trans_rules,
+            oodb_volcano_generated.impl_rules,
+            oodb_volcano_generated.enforcers,
+        ):
+            for rule in collection:
+                source, _kind, name = split_provenance(rule.provenance_id)
+                assert source == "prairie"
+                assert name in prairie_names
+
+
+class TestTraceProvenance:
+    @pytest.mark.parametrize("qid", ["Q1", "Q5", "Q7"])
+    def test_every_fired_rule_resolves_to_prairie(
+        self, schema, oodb_prairie, oodb_volcano_generated, qid
+    ):
+        """The acceptance property: tracing a generated optimizer, every
+        rule event's provenance id resolves back to a named Prairie
+        T-/I-rule of the source OODB rule set (stored-file leaf winners,
+        which no rule derives, carry a ``file:`` id instead)."""
+        prairie_names = {r.name for r in oodb_prairie.t_rules}
+        prairie_names.update(r.name for r in oodb_prairie.i_rules)
+        catalog, tree = make_query_instance(schema, qid, 2, 0)
+        tracer = CollectingTracer()
+        VolcanoOptimizer(
+            oodb_volcano_generated, catalog, tracer=tracer
+        ).optimize(tree)
+        checked = 0
+        for event in tracer.events:
+            if event.type in RULE_EVENTS:
+                provenance = event.data["provenance"]
+                source, kind, name = split_provenance(provenance)
+                assert source == "prairie", provenance
+                assert kind in ("t_rule", "i_rule")
+                assert name in prairie_names
+                checked += 1
+            elif event.type == "winner_filed":
+                provenance = event.data["provenance"]
+                assert provenance.split(":", 1)[0] in ("prairie", "file")
+        assert checked > 0
+
+    def test_hand_coded_trace_carries_volcano_ids(
+        self, schema, oodb_volcano_hand
+    ):
+        catalog, tree = make_query_instance(schema, "Q1", 2, 0)
+        tracer = CollectingTracer()
+        VolcanoOptimizer(oodb_volcano_hand, catalog, tracer=tracer).optimize(
+            tree
+        )
+        sources = {
+            e.data["provenance"].split(":", 1)[0]
+            for e in tracer.events
+            if e.type in RULE_EVENTS
+        }
+        assert sources == {"volcano"}
+
+    def test_relational_pair_provenance(
+        self, schema, relational_volcano_generated, relational_prairie
+    ):
+        """Same property over the second bundled optimizer."""
+        from repro.workloads.catalogs import make_experiment_catalog
+        from repro.workloads.expressions import build_e1
+        from repro.workloads.trees import TreeBuilder
+
+        prairie_names = {r.name for r in relational_prairie.t_rules}
+        prairie_names.update(r.name for r in relational_prairie.i_rules)
+        catalog = make_experiment_catalog(3, with_targets=False, instance=0)
+        tree = build_e1(TreeBuilder(schema, catalog), 2)
+        tracer = CollectingTracer()
+        VolcanoOptimizer(
+            relational_volcano_generated, catalog, tracer=tracer
+        ).optimize(tree)
+        for event in tracer.events:
+            if event.type in RULE_EVENTS:
+                source, _kind, name = split_provenance(
+                    event.data["provenance"]
+                )
+                assert source == "prairie"
+                assert name in prairie_names
