@@ -11,18 +11,30 @@ Times every paper query (Q1–Q8) under six legs:
 * ``cache_warm`` — the same optimizer asked the same query again (pure
   cache hit);
 * ``trace_off``  — optimized, observability layer present but no tracer
-  attached: measures the residual cost of the emit-hook guards, which
-  the report asserts stays under 2% of the ``optimized`` leg (when
-  ``--repeats`` >= 3; fewer repeats leave too much scheduler noise in
-  the per-leg minimum to gate honestly);
+  attached: measures the residual cost of the emit-hook guards; the
+  report asserts the *across-query median* overhead stays under 2% of
+  the ``optimized`` leg (when ``--repeats`` >= 3; fewer repeats leave
+  too much scheduler noise to gate honestly);
 * ``trace_on``   — optimized with a :class:`CountingTracer` receiving
   every event: the cost of actually observing, reported but not gated.
+
+Plus two *batch throughput* legs over the whole Q1–Q8 batch
+(:mod:`repro.parallel`): ``batch_serial`` (the oracle baseline) and
+``batch_4workers`` (four process workers), reported as queries/second
+with a scaling-efficiency column (speedup ÷ workers).  Batch plans and
+costs must be bit-identical to serial — asserted every run.
 
 All legs must agree on the best cost — the fast paths are pure
 performance work, so any divergence is a bug and aborts the run.  Legs
 are *interleaved* across repeats (baseline, optimized, cold, warm, then
 again) and the per-leg minimum is reported, which suppresses scheduler
-noise far better than timing each leg in one block.
+noise far better than timing each leg in one block.  Overhead
+percentages are the **median of per-repeat paired ratios**: each
+traced timing is divided by the untraced timing of the same repeat
+(load drift inflates both sides equally) and the median over repeats
+is reported — minima systematically underestimate (picking the
+luckiest pairing produced negative overheads in early reports), while
+the median is an unbiased, outlier-robust estimate.
 
 Standalone on purpose (argparse, not pytest-benchmark): CI runs
 ``--quick`` as a smoke test, and the checked-in ``BENCH_search.json`` is
@@ -40,6 +52,7 @@ import argparse
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 
@@ -52,6 +65,8 @@ from repro.bench.harness import ExperimentConfig, build_optimizer_pair  # noqa: 
 from repro.bench.timing import time_callable  # noqa: E402
 from repro.catalog.statistics import set_stats_cache_enabled  # noqa: E402
 from repro.obs import NULL_TRACER, CountingTracer  # noqa: E402
+from repro.parallel import BatchItem, BatchOptimizer  # noqa: E402
+from repro.volcano.explain import explain_plan  # noqa: E402
 from repro.volcano.plancache import PlanCache  # noqa: E402
 from repro.volcano.search import SearchOptions, VolcanoOptimizer  # noqa: E402
 from repro.workloads.queries import QUERIES, make_query_instance  # noqa: E402
@@ -71,8 +86,25 @@ LEGS = (
 WARM_CALLS = 5
 
 #: Ceiling on the trace_off leg's overhead over the optimized leg, in
-#: percent.  Gated only when repeats >= 3 (see measure_query).
+#: percent.  Gated on the *across-query median* of the per-query median
+#: overheads, and only when repeats >= 3 (see run): an emit site doing
+#: work outside its guard taxes every query, so it shifts the
+#: across-query median; a single fast query's timing jitter (Q1 swings
+#: several percent either way on a loaded box) cannot.
 TRACE_OFF_MAX_OVERHEAD_PERCENT = 2.0
+
+#: Worker count for the parallel batch leg.
+BATCH_WORKERS = 4
+
+#: Floor on the 4-worker process speedup over batch_serial.  Gated only
+#: when the machine actually has that many cores (see measure_batch) —
+#: process fan-out cannot beat serial on a single-core box, where the
+#: honest numbers are still recorded but not asserted.
+BATCH_MIN_SPEEDUP = 2.0
+
+#: Importable factory spec handed to process-pool workers, which cannot
+#: receive the ruleset itself (generated rulesets do not pickle).
+BATCH_FACTORY = "repro.bench.harness:generated_ruleset"
 
 
 def _set_descriptor_caches(enabled: bool) -> None:
@@ -133,9 +165,11 @@ def measure_query(
         costs["trace_off"] = result.cost
         # Pair each traced timing with the untraced timing of the *same*
         # repeat: machine-load drift over the run inflates both sides of
-        # the pair equally, so the best per-repeat ratio isolates the
-        # systematic guard overhead far better than a ratio of
-        # cross-repeat minima does.
+        # the pair equally.  The median of these paired ratios is the
+        # reported overhead — the minimum systematically underestimates
+        # (it picks the one repeat where the traced leg got lucky, which
+        # produced impossible negative overheads), while a single noisy
+        # repeat cannot move the median.
         trace_off_ratios.append(seconds / optimized_seconds)
 
         seconds, result = time_callable(lambda: traced_opt.optimize(tree), 1)
@@ -153,15 +187,8 @@ def measure_query(
                 f"the plan"
             )
 
-    trace_off_overhead = 100.0 * (min(trace_off_ratios) - 1.0)
-    trace_on_overhead = 100.0 * (min(trace_on_ratios) - 1.0)
-    if repeats >= 3 and trace_off_overhead > TRACE_OFF_MAX_OVERHEAD_PERCENT:
-        raise AssertionError(
-            f"{qid} n={n_joins}: tracing-off overhead "
-            f"{trace_off_overhead:.2f}% exceeds the "
-            f"{TRACE_OFF_MAX_OVERHEAD_PERCENT}% ceiling — an emit site is "
-            f"doing work outside its guard"
-        )
+    trace_off_overhead = 100.0 * (statistics.median(trace_off_ratios) - 1.0)
+    trace_on_overhead = 100.0 * (statistics.median(trace_on_ratios) - 1.0)
 
     return {
         "qid": qid,
@@ -174,6 +201,88 @@ def measure_query(
         "trace_on_overhead_percent": trace_on_overhead,
         "trace_events": counting_tracer.total,
         "plan_cache": cache.stats(),
+    }
+
+
+def measure_batch(pair, config, repeats: int) -> dict:
+    """Batch throughput over all of Q1–Q8: serial vs 4 process workers.
+
+    Every repeat builds a fresh :class:`BatchOptimizer` (cold parent
+    cache) so both legs pay the same search work; the fastest repeat per
+    leg is reported.  Every single run's (label, cost, EXPLAIN) triple
+    is checked against the serial reference — parallel fan-out must be
+    bit-identical, not merely close.
+    """
+    items = []
+    for qid in QIDS:
+        n_joins = config.max_joins[QUERIES[qid].template]
+        catalog, tree = make_query_instance(pair.schema, qid, n_joins, 0)
+        items.append(
+            BatchItem(tree=tree, catalog=catalog, label=f"{qid}/{n_joins}")
+        )
+
+    def signature(report):
+        return [
+            (r.label, r.cost, explain_plan(r.plan)) for r in report.results
+        ]
+
+    reference = None
+    legs = {}
+    for leg, batch_mode, workers in (
+        ("batch_serial", "serial", 1),
+        ("batch_4workers", "process", BATCH_WORKERS),
+    ):
+        best = None
+        for _ in range(repeats):
+            optimizer = BatchOptimizer(
+                BATCH_FACTORY, ("oodb",), mode=batch_mode, workers=workers
+            )
+            report = optimizer.run(items)
+            if reference is None:
+                reference = signature(report)
+            elif signature(report) != reference:
+                raise AssertionError(
+                    f"batch leg {leg!r} diverged from batch_serial — "
+                    f"parallel results must be bit-identical"
+                )
+            if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                best = report
+        legs[leg] = best
+
+    serial_qps = legs["batch_serial"].queries_per_second
+    parallel_qps = legs["batch_4workers"].queries_per_second
+    speedup = parallel_qps / serial_qps if serial_qps else 0.0
+    cpu_count = os.cpu_count() or 1
+    # Two conditions for the floor to bind: the cores must exist, and
+    # there must be at least two repeats (a single timing sample on a
+    # shared machine cannot gate honestly).
+    gated = cpu_count >= BATCH_WORKERS and repeats >= 2
+    if gated and speedup < BATCH_MIN_SPEEDUP:
+        raise AssertionError(
+            f"batch_4workers speedup {speedup:.2f}x is below the "
+            f"{BATCH_MIN_SPEEDUP}x floor despite {cpu_count} cores "
+            f"being available"
+        )
+
+    return {
+        "queries": len(items),
+        "workers": BATCH_WORKERS,
+        "cpu_count": cpu_count,
+        "legs": {
+            leg: {
+                "mode": report.mode,
+                "workers": report.workers,
+                "elapsed_seconds": report.elapsed_seconds,
+                "queries_per_second": report.queries_per_second,
+                "merged_entries": report.merged_entries,
+            }
+            for leg, report in legs.items()
+        },
+        "speedup_4workers": speedup,
+        # Fraction of linear scaling achieved: speedup / workers.
+        "scaling_efficiency": speedup / BATCH_WORKERS,
+        # The >= 2x floor only binds when the cores exist to meet it.
+        "speedup_gated": gated,
     }
 
 
@@ -196,7 +305,26 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             f"trace-on={point['trace_on_overhead_percent']:+.2f}%"
         )
         points.append(point)
+    progress(f"batch Q1-Q8 serial vs {BATCH_WORKERS} process workers ...")
+    batch = measure_batch(build_optimizer_pair("oodb"), config, repeats)
+    progress(
+        f"  serial={batch['legs']['batch_serial']['queries_per_second']:.1f} q/s "
+        f"4workers={batch['legs']['batch_4workers']['queries_per_second']:.1f} q/s "
+        f"speedup={batch['speedup_4workers']:.2f}x "
+        f"efficiency={batch['scaling_efficiency']:.0%} "
+        f"(cpus={batch['cpu_count']})"
+    )
     hot = [p for p in points if p["qid"] in ("Q7", "Q8")]
+    median_trace_off = statistics.median(
+        p["trace_off_overhead_percent"] for p in points
+    )
+    if repeats >= 3 and median_trace_off > TRACE_OFF_MAX_OVERHEAD_PERCENT:
+        raise AssertionError(
+            f"across-query median tracing-off overhead "
+            f"{median_trace_off:.2f}% exceeds the "
+            f"{TRACE_OFF_MAX_OVERHEAD_PERCENT}% ceiling — an emit site is "
+            f"doing work outside its guard"
+        )
     return {
         "benchmark": "bench_perf_search",
         "mode": mode,
@@ -211,10 +339,17 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             "cache_cold": "optimized + PlanCache attached, empty cache",
             "cache_warm": "optimized + PlanCache hit",
             "trace_off": "optimized + NullTracer attached (guard-check "
-            "overhead only; gated < 2% when repeats >= 3)",
+            "overhead only; across-query median gated < 2% when "
+            "repeats >= 3)",
             "trace_on": "optimized + CountingTracer receiving every event",
+            "batch_serial": "BatchOptimizer over Q1-Q8 in serial mode, "
+            "cold parent cache (batch-throughput baseline)",
+            "batch_4workers": "BatchOptimizer over Q1-Q8 fanned over 4 "
+            "process workers (gated >= 2x over batch_serial when >= 4 "
+            "cores are available and repeats >= 2)",
         },
         "queries": points,
+        "batch": batch,
         "summary": {
             "q7_q8_min_speedup_optimized": min(
                 p["speedup_optimized"] for p in hot
@@ -222,12 +357,15 @@ def run(mode: str, repeats: int, progress=print) -> dict:
             "min_speedup_warm_cache": min(
                 p["speedup_warm_cache"] for p in points
             ),
+            "median_trace_off_overhead_percent": median_trace_off,
             "max_trace_off_overhead_percent": max(
                 p["trace_off_overhead_percent"] for p in points
             ),
             "max_trace_on_overhead_percent": max(
                 p["trace_on_overhead_percent"] for p in points
             ),
+            "batch_speedup_4workers": batch["speedup_4workers"],
+            "batch_scaling_efficiency": batch["scaling_efficiency"],
         },
     }
 
@@ -248,8 +386,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats",
         type=int,
-        default=3,
-        help="interleaved repeats per leg (minimum is reported; default 3)",
+        default=5,
+        help="interleaved repeats per leg (per-leg minimum and "
+        "median-of-paired-ratios overheads are reported; default 5)",
     )
     parser.add_argument(
         "-o",
@@ -274,12 +413,16 @@ def main(argv=None) -> int:
 
     floor = report["summary"]["q7_q8_min_speedup_optimized"]
     warm = report["summary"]["min_speedup_warm_cache"]
-    trace_off = report["summary"]["max_trace_off_overhead_percent"]
+    trace_off = report["summary"]["median_trace_off_overhead_percent"]
     trace_on = report["summary"]["max_trace_on_overhead_percent"]
+    batch_speedup = report["summary"]["batch_speedup_4workers"]
+    batch_efficiency = report["summary"]["batch_scaling_efficiency"]
     print(
         f"Q7/Q8 rule-index+caches speedup: {floor:.2f}x; "
         f"warm plan cache: {warm:.0f}x; "
-        f"tracing overhead off/on: {trace_off:+.2f}%/{trace_on:+.2f}%"
+        f"tracing overhead off/on: {trace_off:+.2f}%/{trace_on:+.2f}%; "
+        f"batch 4-worker speedup: {batch_speedup:.2f}x "
+        f"({batch_efficiency:.0%} of linear)"
     )
     return 0
 

@@ -133,6 +133,25 @@ class Descriptor:
         object.__setattr__(clone, "_proj_cache", self._proj_cache)
         return clone
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        """Pickle as (schema, values); the projection cache never travels.
+
+        Required because the default slot-state protocol restores
+        attributes through ``setattr``, which this class routes into
+        property writes.  Plans, descriptors, and plan-cache entries
+        cross process boundaries in the batch optimizer
+        (:mod:`repro.parallel`), so this is the IPC contract.
+        """
+        return (self._schema, self._values)
+
+    def __setstate__(self, state: tuple) -> None:
+        schema, values = state
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_values", values)
+        object.__setattr__(self, "_proj_cache", None)
+
     def assign_from(self, other: "Descriptor") -> None:
         """Overwrite all of this descriptor's values with ``other``'s.
 

@@ -105,6 +105,23 @@ def build_optimizer_pair(kind: str = "oodb") -> OptimizerPair:
     return pair
 
 
+def generated_ruleset(kind: str = "oodb"):
+    """The P2V-generated rule set for ``kind`` (cached).
+
+    This is the canonical worker-side rule-set factory for the batch
+    optimizer: rule sets hold generated code objects and cannot cross
+    process boundaries, so :mod:`repro.parallel` workers rebuild them
+    from the spec string ``"repro.bench.harness:generated_ruleset"``.
+    """
+    return build_optimizer_pair(kind).generated
+
+
+def hand_coded_ruleset(kind: str = "oodb"):
+    """The hand-coded Volcano rule set for ``kind`` (cached); see
+    :func:`generated_ruleset` for why this exists as a named factory."""
+    return build_optimizer_pair(kind).hand_coded
+
+
 @dataclass
 class QueryPoint:
     """One data point of a Figure 10–13 curve (averaged over instances)."""

@@ -133,6 +133,8 @@ class Catalog:
         # estimates); owned by the catalog so any mutation drops it along
         # with the version bump.  Filled by repro.catalog.statistics.
         self._stats_cache: dict = {}
+        # Cached (version, token) pair for state_token().
+        self._token_cache: "tuple[int, tuple] | None" = None
         for info in files or []:
             self.add(info)
 
@@ -146,6 +148,25 @@ class Catalog:
         never served after the catalog changed.
         """
         return self._version
+
+    def state_token(self) -> tuple:
+        """A deterministic structural digest of the catalog's content.
+
+        The tuple of this catalog's (frozen, value-comparable)
+        :class:`StoredFileInfo` entries.  Unlike object identity or the
+        :attr:`version` counter, the token survives pickling: a catalog
+        shipped to a worker process and back compares equal to the
+        original, which is how plan-cache entries merged across process
+        boundaries (:mod:`repro.parallel`) prove they were computed
+        against the same catalog state.  Cached per version; not a
+        Python ``hash()`` (those are salted per process).
+        """
+        cached = self._token_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        token = tuple(self._files.values())
+        self._token_cache = (self._version, token)
+        return token
 
     def add(self, info: StoredFileInfo) -> StoredFileInfo:
         if info.name in self._files:

@@ -1,13 +1,15 @@
 """Command-line interface: ``prairie-opt``.
 
-Four subcommands, mirroring how a downstream user exercises the library:
+Five subcommands, mirroring how a downstream user exercises the library:
 
 * ``info`` — the bundled rule sets and what P2V derives from them;
 * ``validate SPEC`` — parse and validate a Prairie specification file;
 * ``translate SPEC`` — run P2V and emit the generated Volcano
   specification (or the normalized Prairie spec with ``--emit prairie``);
 * ``optimize`` — optimize one of the paper's benchmark queries with a
-  chosen engine and print the EXPLAIN output.
+  chosen engine and print the EXPLAIN output;
+* ``batch`` — optimize a batch of benchmark queries over parallel
+  workers (:mod:`repro.parallel`) and report throughput.
 
 Installed as a console script by ``pip install``; also runnable as
 ``python -m repro.cli``.
@@ -133,6 +135,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the optimization under cProfile and print the top N "
         "functions by cumulative time (default 25)",
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help="optimize a batch of benchmark queries over parallel workers",
+    )
+    batch.add_argument(
+        "--ruleset",
+        choices=("oodb", "relational"),
+        default="oodb",
+        help="which bundled optimizer to use",
+    )
+    batch.add_argument(
+        "--queries",
+        default="Q1,Q2,Q3,Q4,Q5,Q6,Q7,Q8",
+        help="comma-separated query families (default: Q1..Q8)",
+    )
+    batch.add_argument(
+        "--joins", type=int, default=2, help="number of joins per query"
+    )
+    batch.add_argument(
+        "--instance", type=int, default=0, help="cardinality variation"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="worker count (default: CPUs)"
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="fan-out mode (default: process)",
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the batch N times against the same warm cache "
+        "(shows the plan cache amortizing across batches)",
+    )
+    batch.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (batch throughput, per-worker "
+        "cache hit rates) after the run",
     )
     return parser
 
@@ -279,6 +325,63 @@ def _cmd_optimize(args, out) -> int:
     return 0
 
 
+def _cmd_batch(args, out) -> int:
+    from repro.bench.harness import build_optimizer_pair
+    from repro.parallel import BatchItem, BatchOptimizer
+    from repro.workloads import make_query_instance
+
+    pair = build_optimizer_pair(args.ruleset)
+    queries = [q.strip() for q in args.queries.split(",") if q.strip()]
+    items = []
+    for qname in queries:
+        catalog, tree = make_query_instance(
+            pair.schema, qname, args.joins, args.instance
+        )
+        items.append(
+            BatchItem(
+                tree=tree,
+                catalog=catalog,
+                label=f"{qname}({args.joins} joins)",
+            )
+        )
+    optimizer = BatchOptimizer(
+        "repro.bench.harness:generated_ruleset",
+        (args.ruleset,),
+        mode=args.mode,
+        workers=args.workers,
+    )
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    for round_number in range(1, max(1, args.repeat) + 1):
+        report = optimizer.run(items)
+        if registry is not None:
+            registry.record_batch_report(report)
+        out.write(
+            f"batch {round_number}: {len(report.results)} queries, "
+            f"mode={report.mode}, workers={report.workers}, "
+            f"{report.elapsed_seconds:.3f}s "
+            f"({report.queries_per_second:.1f} q/s), "
+            f"cache merged={report.merged_entries}\n"
+        )
+    for item_result in report.results:
+        out.write(
+            f"  {item_result.label:<18} cost={item_result.cost:.4f} "
+            f"groups={item_result.stats.groups} "
+            f"mexprs={item_result.stats.mexprs}\n"
+        )
+    parent = optimizer.cache.stats()
+    out.write(
+        f"parent cache: {parent['entries']} entries, {parent['hits']} hits, "
+        f"{parent['misses']} misses, {parent['merged_in']} merged in\n"
+    )
+    if registry is not None:
+        out.write("\nmetrics:\n" + registry.format() + "\n")
+    return 0
+
+
 def main(argv: "Sequence[str] | None" = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -293,6 +396,8 @@ def main(argv: "Sequence[str] | None" = None, out=None) -> int:
             return _cmd_translate(args, out)
         if args.command == "optimize":
             return _cmd_optimize(args, out)
+        if args.command == "batch":
+            return _cmd_batch(args, out)
     except PrairieError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

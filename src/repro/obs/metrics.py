@@ -183,6 +183,35 @@ class MetricsRegistry:
             self.counter(prefix + key).inc(int(value))
         self.histogram(prefix + "elapsed_seconds").observe(elapsed)
 
+    def record_batch_report(self, report, prefix: str = "batch.") -> None:
+        """Fold one batch optimization's report into the registry.
+
+        Batch-level throughput becomes gauges (``queries_per_second``,
+        ``workers``), volume counters accumulate across batches
+        (``queries``, ``merged_entries``), per-worker cache hit rates
+        land in a ``<prefix>worker_cache_hit_rate`` histogram, and the
+        batch's merged :class:`~repro.volcano.search.SearchStats` is
+        recorded under ``<prefix>search.`` via
+        :meth:`record_search_stats`.
+        """
+        self.counter(prefix + "batches").inc()
+        self.counter(prefix + "queries").inc(len(report.results))
+        self.counter(prefix + "merged_entries").inc(report.merged_entries)
+        self.gauge(prefix + "queries_per_second").set(
+            report.queries_per_second
+        )
+        self.gauge(prefix + "workers").set(report.workers)
+        self.histogram(prefix + "elapsed_seconds").observe(
+            report.elapsed_seconds
+        )
+        for cache_stats in report.worker_cache_stats:
+            lookups = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+            if lookups:
+                self.histogram(prefix + "worker_cache_hit_rate").observe(
+                    cache_stats["hits"] / lookups
+                )
+        self.record_search_stats(report.stats, prefix=prefix + "search.")
+
     def count_trace(self, events: Iterable, prefix: str = "trace.") -> None:
         """Derive counters from a trace: ``<prefix><type>[.<rule>]``.
 

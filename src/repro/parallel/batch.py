@@ -1,0 +1,276 @@
+"""Parallel batch optimization: fan a batch of queries over workers.
+
+The ROADMAP's north star is optimizer *throughput* — a service
+optimizing many queries, not one.  :class:`BatchOptimizer` takes a batch
+of :class:`BatchItem` (tree + catalog + required properties) and
+optimizes them in one of three modes:
+
+* ``"serial"`` — one by one in the calling thread.  The baseline every
+  other mode must match bit-for-bit, and the determinism oracle the
+  property tests compare against.
+* ``"thread"`` — a ``ThreadPoolExecutor`` sharing one (thread-safe)
+  :class:`~repro.volcano.plancache.PlanCache`.  Python's GIL caps the
+  speed-up for this CPU-bound search, but the mode exercises the exact
+  concurrency surface (shared cache, per-item optimizers) with cheap
+  failure modes, so it is the determinism-under-concurrency test bed.
+* ``"process"`` — a ``ProcessPoolExecutor``.  Workers rebuild the rule
+  set from a factory spec (rule sets do not pickle — see
+  :mod:`repro.parallel.worker`), hold a warm per-worker plan cache
+  seeded from the parent cache's snapshot, and ship their cache
+  snapshot back for the parent to merge, so later batches start warm.
+
+Whatever the mode or worker count, results are **bit-identical** to
+serial optimization: the search is deterministic, plan-cache hits
+return copies of deterministically-found plans, and results are
+reassembled in input order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.volcano.plancache import DEFAULT_MAX_ENTRIES, PlanCache
+from repro.volcano.search import (
+    NO_HEURISTICS,
+    SearchOptions,
+    SearchStats,
+    VolcanoOptimizer,
+)
+
+from repro.parallel.worker import init_worker, optimize_chunk, resolve_factory
+
+MODES = ("serial", "thread", "process")
+
+
+@dataclass
+class BatchItem:
+    """One query to optimize: an initialized tree over a catalog."""
+
+    tree: Any
+    catalog: Any
+    required: "tuple | None" = None
+    label: str = ""
+
+
+@dataclass
+class BatchItemResult:
+    """One item's finished optimization, in the input batch's order."""
+
+    index: int
+    label: str
+    plan: Any
+    cost: float
+    stats: SearchStats
+
+
+@dataclass
+class BatchReport:
+    """The whole batch's outcome plus throughput accounting."""
+
+    results: "list[BatchItemResult]"
+    stats: SearchStats
+    mode: str
+    workers: int
+    elapsed_seconds: float
+    merged_entries: int = 0
+    worker_cache_stats: list = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.elapsed_seconds
+
+    @property
+    def costs(self) -> "list[float]":
+        return [r.cost for r in self.results]
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "queries": len(self.results),
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "merged_entries": self.merged_entries,
+            "worker_cache_stats": list(self.worker_cache_stats),
+        }
+
+
+def _chunk(items: Sequence, parts: int) -> "list[list]":
+    """Stripe ``items`` round-robin into at most ``parts`` runs.
+
+    Striping rather than contiguous splitting: batches are often ordered
+    easy-to-hard (Q1..Q8), and a contiguous split hands one worker every
+    expensive query, so the whole batch runs at that worker's pace.
+    Round-robin spreads neighbours across workers, balancing skewed
+    batches without needing per-item cost estimates.  Results are
+    re-sorted by input index afterwards, so the split never shows.
+    """
+    parts = max(1, min(parts, len(items)))
+    return [list(items[i::parts]) for i in range(parts)]
+
+
+class BatchOptimizer:
+    """Optimize batches of queries with a persistent shared plan cache.
+
+    Parameters
+    ----------
+    factory_spec:
+        ``"module:attr"`` rule-set factory (see
+        :func:`repro.parallel.worker.resolve_factory`).  The parent
+        resolves it eagerly — serial and thread modes use the rule set
+        in-process — and process workers re-resolve it on their side.
+    factory_args:
+        Arguments for a callable factory (e.g. ``("oodb",)``).
+    mode:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    workers:
+        Worker count for thread/process modes (default: CPU count).
+    options / cache_max_entries:
+        Search options and plan-cache bound shared by every worker.
+
+    The parent-side :attr:`cache` outlives :meth:`run` calls: snapshots
+    of it seed every process worker, and worker snapshots merge back
+    after each batch, so a second batch of similar queries is mostly
+    cache hits in any mode.
+    """
+
+    def __init__(
+        self,
+        factory_spec: str,
+        factory_args: tuple = (),
+        mode: str = "process",
+        workers: "int | None" = None,
+        options: SearchOptions = NO_HEURISTICS,
+        cache_max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.factory_spec = factory_spec
+        self.factory_args = tuple(factory_args)
+        self.mode = mode
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.options = options
+        self.cache_max_entries = cache_max_entries
+        self.ruleset = resolve_factory(factory_spec, self.factory_args)
+        self.cache = PlanCache(cache_max_entries)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, items: "Sequence[BatchItem]") -> BatchReport:
+        """Optimize every item; results come back in input order."""
+        started = time.perf_counter()
+        if not items:
+            return BatchReport(
+                results=[],
+                stats=SearchStats(),
+                mode=self.mode,
+                workers=self.workers,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        if self.mode == "process":
+            report = self._run_process(items)
+        elif self.mode == "thread":
+            report = self._run_thread(items)
+        else:
+            report = self._run_serial(items)
+        report.elapsed_seconds = time.perf_counter() - started
+        merged_stats = SearchStats()
+        for item_result in report.results:
+            merged_stats.merge(item_result.stats)
+        report.stats = merged_stats
+        return report
+
+    # -- modes -------------------------------------------------------------
+
+    def _optimize_one(self, item: BatchItem, index: int) -> BatchItemResult:
+        optimizer = VolcanoOptimizer(
+            self.ruleset,
+            item.catalog,
+            options=self.options,
+            plan_cache=self.cache,
+        )
+        result = optimizer.optimize(item.tree, item.required)
+        return BatchItemResult(
+            index=index,
+            label=item.label,
+            plan=result.plan,
+            cost=result.cost,
+            stats=result.stats,
+        )
+
+    def _run_serial(self, items: "Sequence[BatchItem]") -> BatchReport:
+        results = [
+            self._optimize_one(item, index)
+            for index, item in enumerate(items)
+        ]
+        return self._report(results, [self.cache.stats()])
+
+    def _run_thread(self, items: "Sequence[BatchItem]") -> BatchReport:
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(self._optimize_one, item, index)
+                for index, item in enumerate(items)
+            ]
+            results = [future.result() for future in futures]
+        results.sort(key=lambda r: r.index)
+        return self._report(results, [self.cache.stats()])
+
+    def _run_process(self, items: "Sequence[BatchItem]") -> BatchReport:
+        payload_items = [
+            (index, item.tree, item.catalog, item.required)
+            for index, item in enumerate(items)
+        ]
+        chunks = _chunk(payload_items, self.workers)
+        parent_snapshot = self.cache.snapshot(self.ruleset, self.factory_spec)
+        results: "list[BatchItemResult]" = []
+        merged = 0
+        worker_stats = []
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            initializer=init_worker,
+            initargs=(
+                self.factory_spec,
+                self.factory_args,
+                self.options,
+                self.cache_max_entries,
+            ),
+        ) as pool:
+            futures = [
+                pool.submit(optimize_chunk, (chunk, parent_snapshot))
+                for chunk in chunks
+            ]
+            for future in futures:
+                chunk_results, snapshot, cache_stats = future.result()
+                for index, plan, cost, stats in chunk_results:
+                    item = items[index]
+                    results.append(
+                        BatchItemResult(
+                            index=index,
+                            label=item.label,
+                            plan=plan,
+                            cost=cost,
+                            stats=stats,
+                        )
+                    )
+                merged += self.cache.merge_snapshot(snapshot, self.ruleset)
+                worker_stats.append(cache_stats)
+        results.sort(key=lambda r: r.index)
+        report = self._report(results, worker_stats)
+        report.merged_entries = merged
+        return report
+
+    def _report(self, results, worker_stats) -> BatchReport:
+        return BatchReport(
+            results=results,
+            stats=SearchStats(),
+            mode=self.mode,
+            workers=self.workers,
+            elapsed_seconds=0.0,
+            worker_cache_stats=worker_stats,
+        )

@@ -1,0 +1,114 @@
+"""Process-pool worker side of the batch optimizer.
+
+Rule sets cannot cross process boundaries: P2V-generated rule sets hold
+compiled code objects and closures, which do not pickle.  Workers
+therefore rebuild their rule set from a **factory spec** — a
+``"module:attr"`` string naming either a rule-set object or a callable
+returning one (called with the spec's ``args``).  Both sides of the pool
+agree on the spec, which doubles as the rule-set *tag* in portable
+plan-cache keys (:meth:`repro.volcano.plancache.PlanCache.snapshot`).
+
+Each worker process holds exactly one :class:`WorkerState` — the rebuilt
+rule set plus a warm :class:`~repro.volcano.plancache.PlanCache` that
+lives for the life of the process.  Chunks arrive with the parent
+cache's current snapshot (so workers start warm even on their first
+chunk of a later batch) and return results together with the worker
+cache's own snapshot, which the parent merges back.
+
+Everything that crosses the boundary is plain data: trees, catalogs,
+plans, :class:`~repro.volcano.search.SearchStats`, cache snapshots.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.volcano.plancache import DEFAULT_MAX_ENTRIES, PlanCache
+from repro.volcano.search import SearchOptions, VolcanoOptimizer
+
+
+def resolve_factory(spec: str, args: tuple = ()) -> Any:
+    """Resolve a ``"module:attr"`` rule-set factory spec.
+
+    ``attr`` may be a rule-set object (returned as-is) or a callable
+    (invoked with ``args``).  Raises ``ValueError`` for a malformed
+    spec; import/attribute errors propagate untouched — a worker that
+    cannot build its rule set must fail loudly, not optimize with the
+    wrong one.
+    """
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"rule-set factory spec must be 'module:attr', got {spec!r}"
+        )
+    obj = getattr(importlib.import_module(module_name), attr)
+    if callable(obj):
+        return obj(*args)
+    return obj
+
+
+@dataclass
+class WorkerState:
+    """Per-process state: the rebuilt rule set and the warm cache."""
+
+    ruleset: Any
+    options: SearchOptions
+    cache: PlanCache
+    tag: str
+
+
+_STATE: "WorkerState | None" = None
+
+
+def init_worker(
+    spec: str,
+    factory_args: tuple,
+    options: SearchOptions,
+    cache_max_entries: int = DEFAULT_MAX_ENTRIES,
+) -> None:
+    """Pool initializer: build this process's rule set and plan cache."""
+    global _STATE
+    _STATE = WorkerState(
+        ruleset=resolve_factory(spec, factory_args),
+        options=options,
+        cache=PlanCache(cache_max_entries),
+        tag=spec,
+    )
+
+
+def optimize_chunk(payload: tuple) -> tuple:
+    """Optimize one chunk of batch items in this worker.
+
+    ``payload`` is ``(items, parent_snapshot)`` where ``items`` is a
+    list of ``(index, tree, catalog, required)`` tuples and
+    ``parent_snapshot`` is the parent cache's exported state (or
+    ``None``).  Returns ``(results, snapshot, cache_stats)`` with
+    ``results`` a list of ``(index, plan, cost, stats)`` in chunk order.
+
+    A fresh :class:`VolcanoOptimizer` is built per item (they are cheap;
+    catalogs differ per item), all sharing the worker's plan cache — the
+    same structure serial mode uses, which is what makes results
+    bit-identical across modes.
+    """
+    state = _STATE
+    if state is None:
+        raise RuntimeError(
+            "worker not initialized (optimize_chunk outside a pool?)"
+        )
+    items, parent_snapshot = payload
+    if parent_snapshot is not None:
+        state.cache.merge_snapshot(parent_snapshot, state.ruleset)
+    results = []
+    for index, tree, catalog, required in items:
+        optimizer = VolcanoOptimizer(
+            state.ruleset,
+            catalog,
+            options=state.options,
+            plan_cache=state.cache,
+        )
+        result = optimizer.optimize(tree, required)
+        results.append((index, result.plan, result.cost, result.stats))
+    snapshot = state.cache.snapshot(state.ruleset, state.tag)
+    return results, snapshot, state.cache.stats()

@@ -24,7 +24,10 @@ coincide:
 * the **catalog and its version** — entries record the catalog object
   and its :attr:`~repro.catalog.schema.Catalog.version` at store time;
   any catalog mutation bumps the version and silently invalidates every
-  plan computed against the old state.
+  plan computed against the old state.  Entries additionally carry the
+  catalog's structural :meth:`~repro.catalog.schema.Catalog.state_token`
+  so entries that crossed a process boundary (where object identity is
+  lost) stay usable against a structurally identical catalog.
 
 Hits return a *fresh deep copy* of the cached plan (callers may annotate
 or execute plans destructively) together with the cached cost and memo.
@@ -35,11 +38,13 @@ Hit/miss counters are surfaced per-optimization through
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Union
 
 from repro.algebra.expressions import Expression, StoredFileRef
+from repro.algebra.interning import InternedLeaf, InternedNode
 from repro.catalog.schema import Catalog
 
 PlanTree = Union[Expression, StoredFileRef]
@@ -57,7 +62,14 @@ def tree_fingerprint(
     stored files are identified by name alone.  Physical annotations
     (costs, orders) are deliberately excluded — they are outputs of
     optimization, not part of the query's identity.
+
+    Hash-consed trees (:mod:`repro.algebra.interning`) take the O(1)
+    path: interned nodes memoize their fingerprint, so re-fingerprinting
+    a shared subtree is a dict hit instead of a tree walk.  The two
+    paths produce identical tuples.
     """
+    if isinstance(tree, (InternedNode, InternedLeaf)):
+        return tree.fingerprint(argument_properties)
     if isinstance(tree, StoredFileRef):
         return ("file", tree.name)
     return (
@@ -78,27 +90,92 @@ def copy_plan(plan: PlanTree) -> PlanTree:
 
 
 @dataclass
+class MemoSummary:
+    """A lightweight stand-in for a cached entry's full memo.
+
+    Plan-cache entries that cross process boundaries (snapshots merged
+    by the batch optimizer) drop their memos — a memo is an order of
+    magnitude bigger than the plan it produced — but cache hits still
+    report search-effort statistics.  The summary answers the two
+    counters the engine reads (:attr:`group_count` / :attr:`mexpr_count`)
+    and iterates as empty for tools that walk groups.
+    """
+
+    group_count: int
+    mexpr_count: int
+    groups: tuple = ()
+
+    def stats(self) -> dict[str, int]:
+        return {"groups": self.group_count, "mexprs": self.mexpr_count}
+
+    @classmethod
+    def of(cls, memo: Any) -> "MemoSummary":
+        return cls(memo.group_count, memo.mexpr_count)
+
+
+@dataclass
 class CachedPlan:
-    """One plan-cache entry: the finished result plus validity metadata."""
+    """One plan-cache entry: the finished result plus validity metadata.
+
+    Validity is checked two ways, cheapest first: same catalog *object*
+    at the same version (the single-process fast path), else — when the
+    entry carries a ``catalog_token`` — structural equality of
+    :meth:`~repro.catalog.schema.Catalog.state_token`.  The token path
+    is what lets entries survive IPC: a worker's catalog unpickles into
+    a new object, but its token still equals the parent's.  A token hit
+    rebinds the entry to the probing catalog so later lookups take the
+    identity fast path again.
+    """
 
     plan: PlanTree
     cost: float
-    memo: Any  # repro.volcano.memo.Memo (untyped to avoid an import cycle)
-    catalog: Catalog
+    memo: Any  # repro.volcano.memo.Memo / MemoSummary (no import cycle)
+    catalog: "Catalog | None"
     catalog_version: int
+    catalog_token: "tuple | None" = None
 
     def is_valid(self, catalog: Catalog) -> bool:
-        return (
+        if (
             self.catalog is catalog
             and self.catalog_version == catalog.version
-        )
+        ):
+            return True
+        if self.catalog_token is None:
+            return False
+        token = getattr(catalog, "state_token", None)
+        if token is None or self.catalog_token != token():
+            return False
+        self.catalog = catalog
+        self.catalog_version = catalog.version
+        return True
+
+
+@dataclass
+class CacheSnapshot:
+    """A picklable export of plan-cache entries for one rule set.
+
+    Produced by :meth:`PlanCache.snapshot`, consumed by
+    :meth:`PlanCache.merge_snapshot`.  ``entries`` holds
+    ``(portable_key, CachedPlan)`` pairs whose keys carry the
+    ``ruleset_tag`` string in place of the process-local ``id(ruleset)``
+    and whose entries validate by catalog token only.
+    """
+
+    ruleset_tag: str
+    entries: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 class PlanCache:
     """A bounded LRU cache of finished optimizations.
 
-    Thread-compatible (no internal locking): like the optimizer itself,
-    one cache should be driven from one thread, or guarded externally.
+    Thread-safe: a reentrant lock guards every lookup/store/evict, so
+    one cache may back the batch optimizer's thread mode (many
+    optimizer instances, one shared cache) without external
+    coordination.  The optimizers themselves are still single-threaded
+    objects — only the cache is shared.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
@@ -106,10 +183,23 @@ class PlanCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.merged_in = 0
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- keying ---------------------------------------------------------------
 
@@ -142,24 +232,25 @@ class PlanCache:
         ``plan_cache_miss`` event is emitted per lookup, the miss
         carrying why (``"absent"`` or ``"stale"``).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if emit is not None:
+                    emit("plan_cache_miss", reason="absent")
+                return None
+            if not entry.is_valid(catalog):
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                if emit is not None:
+                    emit("plan_cache_miss", reason="stale")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
             if emit is not None:
-                emit("plan_cache_miss", reason="absent")
-            return None
-        if not entry.is_valid(catalog):
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            if emit is not None:
-                emit("plan_cache_miss", reason="stale")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        if emit is not None:
-            emit("plan_cache_hit", cost=entry.cost)
-        return entry
+                emit("plan_cache_hit", cost=entry.cost)
+            return entry
 
     def store(
         self,
@@ -178,23 +269,99 @@ class PlanCache:
         ``plan_cache_store`` event (plus one ``plan_cache_evict`` per
         displaced entry) is emitted.
         """
+        token_fn = getattr(catalog, "state_token", None)
         entry = CachedPlan(
             plan=copy_plan(plan),
             cost=cost,
             memo=memo,
             catalog=catalog,
             catalog_version=catalog.version,
+            catalog_token=token_fn() if token_fn is not None else None,
         )
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        if emit is not None:
-            emit("plan_cache_store", cost=cost, entries=len(self._entries))
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
             if emit is not None:
-                emit("plan_cache_evict", entries=len(self._entries))
+                emit("plan_cache_store", cost=cost, entries=len(self._entries))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if emit is not None:
+                    emit("plan_cache_evict", entries=len(self._entries))
         return entry
+
+    # -- snapshot / merge (the batch optimizer's IPC surface) -----------------
+
+    def snapshot(
+        self,
+        ruleset: Any,
+        ruleset_tag: str,
+        include_memos: bool = False,
+    ) -> CacheSnapshot:
+        """Export this cache's entries for ``ruleset`` in portable form.
+
+        Cache keys embed ``id(ruleset)``, which is meaningless in
+        another process (workers rebuild rule sets from a factory spec).
+        The snapshot substitutes ``ruleset_tag`` — any string both sides
+        agree names the rule set, conventionally the worker factory spec
+        (``"module:attr"``).  Entries are exported with their catalog
+        *token* instead of the catalog object (tokens survive pickling;
+        object identity does not) and, unless ``include_memos``, with
+        their memo reduced to a :class:`MemoSummary`.  Entries whose
+        catalog provides no token are skipped — they cannot prove
+        validity across a process boundary.
+        """
+        with self._lock:
+            items = list(self._entries.items())
+        exported = []
+        for key, entry in items:
+            if key[0] != id(ruleset):
+                continue
+            if entry.catalog_token is None:
+                continue
+            portable_key = (ruleset_tag,) + key[1:]
+            exported.append(
+                (
+                    portable_key,
+                    CachedPlan(
+                        plan=entry.plan,
+                        cost=entry.cost,
+                        memo=(
+                            entry.memo
+                            if include_memos
+                            else MemoSummary.of(entry.memo)
+                        ),
+                        catalog=None,
+                        catalog_version=-1,
+                        catalog_token=entry.catalog_token,
+                    ),
+                )
+            )
+        return CacheSnapshot(ruleset_tag=ruleset_tag, entries=exported)
+
+    def merge_snapshot(self, snapshot: "CacheSnapshot", ruleset: Any) -> int:
+        """Fold a snapshot's entries in; returns how many were adopted.
+
+        Portable keys are rebound to ``id(ruleset)`` (the caller asserts
+        the snapshot's tag names this rule set).  Entries already
+        present locally win — the local entry's validity bookkeeping is
+        warmer — and adopted entries enter at the MRU end, evicting LRU
+        past the bound as a normal store would.
+        """
+        merged = 0
+        with self._lock:
+            for portable_key, entry in snapshot.entries:
+                key = (id(ruleset),) + tuple(portable_key[1:])
+                if key in self._entries:
+                    continue
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                merged += 1
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self.merged_in += merged
+        return merged
 
     # -- maintenance ----------------------------------------------------------
 
@@ -207,27 +374,32 @@ class PlanCache:
         the version counter cannot see (statistics refresh, helper
         reconfiguration).
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> dict[str, int]:
         """Cumulative counters (across every optimizer using this cache)."""
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "merged_in": self.merged_in,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -114,6 +114,13 @@ class SearchOptions:
       every trans_rule attempted against every m-expr, fired bookkeeping
       in a tuple-keyed set — purely so ``bench_perf_search.py`` can
       measure the difference.  The two paths find identical plans.
+    * ``intern_descriptors`` — hash-cons m-expr descriptors through a
+      per-engine :class:`~repro.algebra.interning.DescriptorInterner`
+      (on by default): m-exprs with identical descriptor values share
+      one canonical object, shrinking the memo.  Pure memory/speed work;
+      plans and costs are bit-identical either way (the engine copies
+      descriptors before every write).  ``SearchStats`` reports the
+      sharing rate (``descriptors_shared`` / ``descriptors_unique``).
 
     Plans remain valid and executable under any heuristic; they just may
     no longer be the global optimum.  The ablation benchmark
@@ -125,6 +132,7 @@ class SearchOptions:
     max_mexprs: "int | None" = None
     monotone_costs: bool = False
     use_rule_index: bool = True
+    intern_descriptors: bool = True
 
     def allows(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -165,6 +173,10 @@ class SearchStats:
     winners_cached: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    descriptors_shared: int = 0
+    descriptors_unique: int = 0
+    descriptor_values_shared: int = 0
+    memo_descriptor_objects: int = 0
     elapsed_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
@@ -183,8 +195,42 @@ class SearchStats:
             "winners_cached": self.winners_cached,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "descriptors_shared": self.descriptors_shared,
+            "descriptors_unique": self.descriptors_unique,
+            "descriptor_values_shared": self.descriptor_values_shared,
+            "memo_descriptor_objects": self.memo_descriptor_objects,
             "elapsed_seconds": self.elapsed_seconds,
         }
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another optimization's counters into this one.
+
+        Numeric counters add, matched/applicable rule-name sets union,
+        and elapsed times sum — what the batch optimizer uses to
+        aggregate per-worker statistics into one batch-level view.
+        ``groups``/``mexprs`` add too (total memo work across the
+        batch), matching how a throughput report reads them.
+        """
+        self.groups += other.groups
+        self.mexprs += other.mexprs
+        self.trans_matched |= other.trans_matched
+        self.impl_matched |= other.impl_matched
+        self.trans_applicable |= other.trans_applicable
+        self.impl_applicable |= other.impl_applicable
+        self.trans_fired += other.trans_fired
+        self.trans_considered += other.trans_considered
+        self.impl_considered += other.impl_considered
+        self.impl_succeeded += other.impl_succeeded
+        self.enforcer_applied += other.enforcer_applied
+        self.optimize_calls += other.optimize_calls
+        self.winners_cached += other.winners_cached
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.descriptors_shared += other.descriptors_shared
+        self.descriptors_unique += other.descriptors_unique
+        self.descriptor_values_shared += other.descriptor_values_shared
+        self.memo_descriptor_objects += other.memo_descriptor_objects
+        self.elapsed_seconds += other.elapsed_seconds
 
 
 @dataclass(slots=True)
@@ -257,6 +303,15 @@ class VolcanoOptimizer:
         self._default_arg_projection = Descriptor(ruleset.schema).project(
             ruleset.argument_properties
         )
+        # Hash-consing table for m-expr descriptors, shared across this
+        # engine's optimize() calls so repeated queries re-use the same
+        # canonical objects (repro.algebra.interning).
+        if self.options.intern_descriptors:
+            from repro.algebra.interning import DescriptorInterner
+
+            self._descriptor_interner = DescriptorInterner(ruleset.schema)
+        else:
+            self._descriptor_interner = None
 
     # -- public API ------------------------------------------------------------
 
@@ -283,7 +338,9 @@ class VolcanoOptimizer:
         required = intern_vector(required)
         emit = self._emit_hook()
         if emit is not None:
-            root_op = tree.name if isinstance(tree, StoredFileRef) else tree.op.name
+            # Interned leaves (repro.algebra.interning) have a name but
+            # no op, like StoredFileRef.
+            root_op = tree.op.name if hasattr(tree, "op") else tree.name
             emit(
                 "optimize_begin",
                 engine=type(self).__name__,
@@ -317,7 +374,15 @@ class VolcanoOptimizer:
                 return OptimizationResult(
                     copy_plan(entry.plan), entry.cost, stats, entry.memo
                 )
-        memo = Memo(self.ruleset.argument_properties)
+        memo = Memo(
+            self.ruleset.argument_properties,
+            descriptor_interner=self._descriptor_interner,
+        )
+        values_shared_before = (
+            self._descriptor_interner.values_shared
+            if self._descriptor_interner is not None
+            else 0
+        )
         stats = SearchStats()
         if cache is not None:
             stats.plan_cache_misses = 1
@@ -326,6 +391,14 @@ class VolcanoOptimizer:
         winner = self._optimize_group(state, root.gid, required)
         stats.groups = memo.group_count
         stats.mexprs = memo.mexpr_count
+        stats.descriptors_shared = memo.descriptors_shared
+        stats.descriptors_unique = memo.descriptors_unique
+        interner = self._descriptor_interner
+        if interner is not None:
+            stats.descriptor_values_shared = (
+                interner.values_shared - values_shared_before
+            )
+        stats.memo_descriptor_objects = memo.retained_descriptor_objects()
         stats.elapsed_seconds = time.perf_counter() - started
         if winner is None:
             if emit is not None:

@@ -1,0 +1,217 @@
+"""Tests for the parallel batch optimizer (:mod:`repro.parallel`).
+
+The core guarantee under test: **bit-identical results** — same plans
+(EXPLAIN text), same costs — across serial, thread, and process modes
+and any worker count.  Plus the cache plumbing: warm parent caches seed
+workers, worker snapshots merge back, and the metrics bridge reports
+batch throughput.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import build_optimizer_pair
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    MODES,
+    BatchItem,
+    BatchOptimizer,
+    BatchReport,
+    resolve_factory,
+)
+from repro.volcano.explain import explain_plan
+from repro.workloads.queries import make_query_instance
+
+FACTORY = "repro.bench.harness:generated_ruleset"
+
+# Small-and-fast query pool for batches (2-join instances).
+POOL = [("Q1", 2), ("Q2", 2), ("Q3", 2), ("Q4", 2), ("Q5", 2), ("Q6", 2)]
+
+
+def make_items(picks):
+    pair = build_optimizer_pair("oodb")
+    items = []
+    for qname, joins in picks:
+        catalog, tree = make_query_instance(pair.schema, qname, joins, 0)
+        items.append(
+            BatchItem(tree=tree, catalog=catalog, label=f"{qname}/{joins}")
+        )
+    return items
+
+
+def signature(report: BatchReport):
+    return [
+        (r.label, r.cost, explain_plan(r.plan)) for r in report.results
+    ]
+
+
+class TestFactory:
+    def test_resolves_callable_with_args(self):
+        ruleset = resolve_factory(FACTORY, ("oodb",))
+        assert ruleset is build_optimizer_pair("oodb").generated
+
+    def test_resolves_plain_attribute(self):
+        import repro.bench.harness as harness
+
+        harness._TEST_RULESET = object()
+        try:
+            obj = resolve_factory("repro.bench.harness:_TEST_RULESET")
+            assert obj is harness._TEST_RULESET
+        finally:
+            del harness._TEST_RULESET
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_factory("no-colon-here")
+
+    def test_unknown_module_propagates(self):
+        with pytest.raises(ModuleNotFoundError):
+            resolve_factory("no.such.module:attr")
+
+
+class TestModesAgree:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BatchOptimizer(FACTORY, ("oodb",), mode="fibers")
+
+    def test_empty_batch(self):
+        report = BatchOptimizer(FACTORY, ("oodb",), mode="serial").run([])
+        assert report.results == []
+        assert report.queries_per_second == 0.0
+
+    def test_all_modes_bit_identical(self):
+        items = make_items(POOL[:4])
+        signatures = {}
+        for mode in MODES:
+            optimizer = BatchOptimizer(
+                FACTORY, ("oodb",), mode=mode, workers=2
+            )
+            signatures[mode] = signature(optimizer.run(items))
+        assert signatures["serial"] == signatures["thread"]
+        assert signatures["serial"] == signatures["process"]
+
+    def test_worker_count_does_not_change_results(self):
+        items = make_items(POOL)
+        baseline = signature(
+            BatchOptimizer(FACTORY, ("oodb",), mode="serial").run(items)
+        )
+        for workers in (1, 3):
+            got = signature(
+                BatchOptimizer(
+                    FACTORY, ("oodb",), mode="thread", workers=workers
+                ).run(items)
+            )
+            assert got == baseline
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        picks=st.lists(st.sampled_from(POOL), min_size=1, max_size=5),
+        workers=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_thread_mode_matches_serial(self, picks, workers):
+        """Any batch composition (duplicates included), any worker
+        count: thread mode reproduces serial bit-for-bit."""
+        items = make_items(picks)
+        serial = BatchOptimizer(FACTORY, ("oodb",), mode="serial")
+        threaded = BatchOptimizer(
+            FACTORY, ("oodb",), mode="thread", workers=workers
+        )
+        assert signature(serial.run(items)) == signature(threaded.run(items))
+
+    def test_results_come_back_in_input_order(self):
+        items = make_items([("Q5", 2), ("Q1", 2), ("Q3", 2)])
+        report = BatchOptimizer(
+            FACTORY, ("oodb",), mode="thread", workers=3
+        ).run(items)
+        assert [r.label for r in report.results] == [
+            "Q5/2", "Q1/2", "Q3/2",
+        ]
+        assert [r.index for r in report.results] == [0, 1, 2]
+
+
+class TestCachePlumbing:
+    def test_serial_second_batch_hits_cache(self):
+        # Q1/Q3/Q5 have pairwise-distinct fingerprints (Q1/Q2, Q3/Q4,
+        # Q5/Q6 each share one at two joins while carrying different
+        # catalogs, which would thrash the fingerprint-keyed slot by
+        # design).
+        items = make_items([("Q1", 2), ("Q3", 2), ("Q5", 2)])
+        optimizer = BatchOptimizer(FACTORY, ("oodb",), mode="serial")
+        cold = optimizer.run(items)
+        warm = optimizer.run(items)
+        assert signature(cold) == signature(warm)
+        assert warm.stats.plan_cache_hits == len(items)
+
+    def test_process_mode_merges_worker_snapshots(self):
+        items = make_items([("Q1", 2), ("Q3", 2), ("Q5", 2)])
+        optimizer = BatchOptimizer(
+            FACTORY, ("oodb",), mode="process", workers=2
+        )
+        report = optimizer.run(items)
+        assert report.merged_entries > 0
+        assert len(optimizer.cache) == report.merged_entries
+        assert optimizer.cache.stats()["merged_in"] == report.merged_entries
+        assert len(report.worker_cache_stats) == 2
+
+    def test_process_workers_seeded_from_parent_cache(self):
+        """A second process batch starts warm: workers inherit the
+        parent snapshot, so at least the queries whose catalog token
+        matches come back as cache hits."""
+        items = make_items([("Q3", 2), ("Q5", 2)])
+        optimizer = BatchOptimizer(
+            FACTORY, ("oodb",), mode="process", workers=2
+        )
+        cold = optimizer.run(items)
+        warm = optimizer.run(items)
+        assert signature(cold) == signature(warm)
+        assert warm.stats.plan_cache_hits >= 1
+
+    def test_batch_stats_aggregate(self):
+        items = make_items(POOL[:3])
+        report = BatchOptimizer(FACTORY, ("oodb",), mode="serial").run(items)
+        assert report.stats.optimize_calls == sum(
+            r.stats.optimize_calls for r in report.results
+        )
+        assert report.stats.elapsed_seconds > 0
+        assert report.queries_per_second > 0
+
+
+class TestReportAndMetrics:
+    def test_report_as_dict(self):
+        items = make_items(POOL[:2])
+        report = BatchOptimizer(FACTORY, ("oodb",), mode="serial").run(items)
+        snapshot = report.as_dict()
+        assert snapshot["queries"] == 2
+        assert snapshot["mode"] == "serial"
+        assert snapshot["queries_per_second"] == report.queries_per_second
+
+    def test_metrics_bridge(self):
+        items = make_items(POOL[:2])
+        optimizer = BatchOptimizer(FACTORY, ("oodb",), mode="serial")
+        registry = MetricsRegistry()
+        registry.record_batch_report(optimizer.run(items))
+        registry.record_batch_report(optimizer.run(items))
+        counters = registry.counters()
+        assert counters["batch.batches"] == 2
+        assert counters["batch.queries"] == 4
+        assert counters["batch.search.optimize_calls"] > 0
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["batch.queries_per_second"] > 0
+        assert gauges["batch.workers"] >= 1
+
+    def test_worker_payloads_picklable(self):
+        """The exact tuples shipped to process workers must pickle."""
+        items = make_items(POOL[:2])
+        payload = [
+            (index, item.tree, item.catalog, item.required)
+            for index, item in enumerate(items)
+        ]
+        clone = pickle.loads(pickle.dumps(payload))
+        assert len(clone) == 2

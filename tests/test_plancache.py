@@ -461,3 +461,196 @@ class TestSearchOptionBudgets:
         for key in ("winners_cached", "plan_cache_hits", "plan_cache_misses"):
             assert key in stats
         assert stats["plan_cache_misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# LRU eviction order, thread safety, snapshot/merge (batch-optimizer surface)
+# ---------------------------------------------------------------------------
+
+
+def small_catalog(cardinality=100):
+    from repro.catalog.schema import Catalog
+
+    return Catalog(
+        [
+            StoredFileInfo("R1", ("a1", "b1"), cardinality),
+            StoredFileInfo("R2", ("a2", "b2"), cardinality * 2),
+        ]
+    )
+
+
+class TestLRUEvictionOrder:
+    def test_eviction_follows_recency_exactly(self):
+        """Evictions happen strictly in least-recently-*used* order:
+        lookups refresh recency, stores of new keys evict the coldest."""
+        cache = PlanCache(max_entries=3)
+        catalog = FakeCatalog()
+        for name in ("a", "b", "c"):
+            cache.store((name,), file_plan(), 1.0, memo=None, catalog=catalog)
+        # Recency (coldest first): a, b, c.  Touch a then b.
+        cache.lookup(("a",), catalog)   # -> b, c, a
+        cache.lookup(("b",), catalog)   # -> c, a, b
+        cache.store(("d",), file_plan(), 1.0, memo=None, catalog=catalog)
+        # d evicts the coldest, c               -> a, b, d
+        assert ("c",) not in cache
+        assert all(key in cache for key in (("a",), ("b",), ("d",)))
+        # Re-storing an existing key refreshes it without eviction.
+        cache.store(("a",), file_plan(), 2.0, memo=None, catalog=catalog)
+        assert len(cache) == 3          # -> b, d, a
+        cache.store(("e",), file_plan(), 1.0, memo=None, catalog=catalog)
+        # e evicts the coldest, b              -> d, a, e
+        assert ("b",) not in cache
+        assert all(key in cache for key in (("d",), ("a",), ("e",)))
+
+    def test_eviction_order_deterministic_sequence(self):
+        cache = PlanCache(max_entries=2)
+        catalog = FakeCatalog()
+        cache.store(("x",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.store(("y",), file_plan(), 1.0, memo=None, catalog=catalog)
+        cache.store(("x",), file_plan(), 3.0, memo=None, catalog=catalog)
+        cache.store(("z",), file_plan(), 1.0, memo=None, catalog=catalog)
+        # x was refreshed by its second store, so y was evicted.
+        assert ("y",) not in cache
+        assert ("x",) in cache and ("z",) in cache
+        assert cache.lookup(("x",), catalog).cost == 3.0
+
+
+class TestThreadSafety:
+    def test_concurrent_store_lookup_evict(self):
+        """Hammer one bounded cache from many threads; the cache must
+        stay internally consistent (no lost updates, no KeyErrors from
+        racing eviction) and every counter must add up."""
+        import threading
+
+        cache = PlanCache(max_entries=16)
+        catalog = FakeCatalog()
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(200):
+                    key = (worker_id % 4, i % 24)
+                    entry = cache.lookup(key, catalog)
+                    if entry is None:
+                        cache.store(
+                            key, file_plan(), float(i), memo=None,
+                            catalog=catalog,
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+
+
+class TestSnapshotMerge:
+    def _store_real_entry(self, cache, ruleset, options=None):
+        from repro.bench.harness import build_optimizer_pair
+
+        pair = build_optimizer_pair("oodb")
+        catalog, tree = make_query_instance(pair.schema, "Q5", 1, 0)
+        optimizer = VolcanoOptimizer(
+            ruleset, catalog, plan_cache=cache,
+            options=options or SearchOptions(),
+        )
+        result = optimizer.optimize(tree)
+        return catalog, tree, result
+
+    def test_snapshot_round_trips_through_pickle(self, oodb_volcano_generated):
+        import pickle
+
+        cache = PlanCache()
+        catalog, tree, result = self._store_real_entry(
+            cache, oodb_volcano_generated
+        )
+        snap = cache.snapshot(oodb_volcano_generated, "tests:oodb")
+        assert len(snap) == 1
+        restored = pickle.loads(pickle.dumps(snap))
+        fresh = PlanCache()
+        assert fresh.merge_snapshot(restored, oodb_volcano_generated) == 1
+        assert fresh.stats()["merged_in"] == 1
+        key = PlanCache.key_for(
+            oodb_volcano_generated, SearchOptions(), tree,
+            next(iter(fresh._entries))[2],
+        )
+        entry = fresh.lookup(key, catalog)
+        assert entry is not None, "merged entry must validate by token"
+        assert entry.cost == result.cost
+        # Token hit rebinds to the probing catalog: second lookup takes
+        # the identity fast path.
+        assert entry.catalog is catalog
+
+    def test_merged_entry_drives_cache_hit_in_engine(
+        self, oodb_volcano_generated
+    ):
+        import pickle
+
+        from repro.bench.harness import build_optimizer_pair
+
+        source = PlanCache()
+        catalog, tree, result = self._store_real_entry(
+            source, oodb_volcano_generated
+        )
+        snap = pickle.loads(
+            pickle.dumps(source.snapshot(oodb_volcano_generated, "tests:oodb"))
+        )
+        target = PlanCache()
+        target.merge_snapshot(snap, oodb_volcano_generated)
+        pair = build_optimizer_pair("oodb")
+        catalog2, tree2 = make_query_instance(pair.schema, "Q5", 1, 0)
+        optimizer = VolcanoOptimizer(
+            oodb_volcano_generated, catalog2, plan_cache=target
+        )
+        warm = optimizer.optimize(tree2)
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.cost == result.cost
+
+    def test_snapshot_skips_other_rulesets_and_tokenless_entries(
+        self, oodb_volcano_generated
+    ):
+        cache = PlanCache()
+        # A tokenless (FakeCatalog) entry and a foreign-ruleset entry.
+        cache.store(("k",), file_plan(), 1.0, memo=None, catalog=FakeCatalog())
+        snap = cache.snapshot(oodb_volcano_generated, "tests:oodb")
+        assert len(snap) == 0
+
+    def test_merge_prefers_local_entries(self, oodb_volcano_generated):
+        cache = PlanCache()
+        catalog, tree, result = self._store_real_entry(
+            cache, oodb_volcano_generated
+        )
+        snap = cache.snapshot(oodb_volcano_generated, "tests:oodb")
+        # Merging a snapshot of itself adopts nothing: keys collide.
+        assert cache.merge_snapshot(snap, oodb_volcano_generated) == 0
+
+    def test_catalog_state_token_is_structural(self):
+        import pickle
+
+        catalog = small_catalog()
+        copy = pickle.loads(pickle.dumps(catalog))
+        assert catalog is not copy
+        assert catalog.state_token() == copy.state_token()
+        other = small_catalog(cardinality=999)
+        assert catalog.state_token() != other.state_token()
+
+    def test_cache_survives_pickle(self):
+        import pickle
+
+        cache = PlanCache(max_entries=7)
+        cache.store(
+            ("k",), file_plan(), 2.5, memo=None, catalog=small_catalog()
+        )
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 7
+        assert len(clone) == 1
+        # The lock is rebuilt, not copied.
+        clone.invalidate()
