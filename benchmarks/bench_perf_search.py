@@ -61,7 +61,11 @@ sys.path.insert(
 )
 
 from repro.algebra.descriptors import set_projection_cache_enabled  # noqa: E402
-from repro.bench.harness import ExperimentConfig, build_optimizer_pair  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    ExperimentConfig,
+    bench_environment,
+    build_optimizer_pair,
+)
 from repro.bench.timing import time_callable  # noqa: E402
 from repro.catalog.statistics import set_stats_cache_enabled  # noqa: E402
 from repro.obs import NULL_TRACER, CountingTracer  # noqa: E402
@@ -331,6 +335,7 @@ def run(mode: str, repeats: int, progress=print) -> dict:
         "repeats": repeats,
         "python": platform.python_version(),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
         "legs": {
             "baseline": "use_rule_index=False, projection+stats caches off "
             "(seed-equivalent hot path)",
@@ -397,6 +402,14 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the JSON report here (default: print to stdout)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append a run record (git sha + per-leg medians) to this "
+        "JSON-lines history after a successful run; `prairie-opt "
+        "bench-check` gates future runs against it",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -410,6 +423,13 @@ def main(argv=None) -> int:
         print(f"wrote {args.output}")
     else:
         print(payload, end="")
+
+    if args.history:
+        from repro.obs.history import append_record, record_from_report
+
+        record = record_from_report(report)
+        append_record(args.history, record)
+        print(f"appended run record ({record.git_sha[:12]}) -> {args.history}")
 
     floor = report["summary"]["q7_q8_min_speedup_optimized"]
     warm = report["summary"]["min_speedup_warm_cache"]

@@ -122,6 +122,24 @@ def hand_coded_ruleset(kind: str = "oodb"):
     return build_optimizer_pair(kind).hand_coded
 
 
+def bench_environment() -> dict:
+    """Where a benchmark ran: stamped into reports and run-history
+    records (:mod:`repro.obs.history`) so regressions can be told apart
+    from machine changes."""
+    import platform
+    import sys
+
+    from repro.obs.history import current_git_sha
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": current_git_sha(),
+    }
+
+
 @dataclass
 class QueryPoint:
     """One data point of a Figure 10–13 curve (averaged over instances)."""

@@ -1,6 +1,6 @@
 """Command-line interface: ``prairie-opt``.
 
-Five subcommands, mirroring how a downstream user exercises the library:
+Six subcommands, mirroring how a downstream user exercises the library:
 
 * ``info`` — the bundled rule sets and what P2V derives from them;
 * ``validate SPEC`` — parse and validate a Prairie specification file;
@@ -9,7 +9,17 @@ Five subcommands, mirroring how a downstream user exercises the library:
 * ``optimize`` — optimize one of the paper's benchmark queries with a
   chosen engine and print the EXPLAIN output;
 * ``batch`` — optimize a batch of benchmark queries over parallel
-  workers (:mod:`repro.parallel`) and report throughput.
+  workers (:mod:`repro.parallel`) and report throughput; ``--trace``
+  writes the merged cross-worker timeline (one Chrome ``pid`` lane per
+  worker);
+* ``bench-check`` — the regression sentinel: compare a fresh
+  ``BENCH_search.json`` against the rolling run history
+  (:mod:`repro.obs.history`) and exit non-zero on any gated-leg
+  regression.
+
+Metrics-printing commands accept ``--metrics-format openmetrics`` for
+Prometheus-scrapeable text and ``--metrics-file PATH`` to route the
+registry to a file instead of interleaving with plan output.
 
 Installed as a console script by ``pip install``; also runnable as
 ``python -m repro.cli``.
@@ -117,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry (search counters plus per-rule "
         "firing counts) after optimizing",
     )
+    _add_metrics_output_args(optimize)
     optimize.add_argument(
         "--analyze",
         action="store_true",
@@ -180,7 +191,90 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry (batch throughput, per-worker "
         "cache hit rates) after the run",
     )
+    _add_metrics_output_args(batch)
+    batch.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the merged cross-worker trace of the last batch round "
+        "to FILE (workers appear as separate pid lanes in chrome://tracing)",
+    )
+    batch.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace file format: Chrome chrome://tracing (default) or "
+        "JSON-lines",
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="compare a benchmark report against the rolling run history "
+        "and exit non-zero on regression",
+    )
+    bench_check.add_argument(
+        "--bench",
+        default="BENCH_search.json",
+        help="benchmark report to check (default: BENCH_search.json)",
+    )
+    bench_check.add_argument(
+        "--history",
+        default="benchmarks/results/history.jsonl",
+        help="JSON-lines run history (default: "
+        "benchmarks/results/history.jsonl)",
+    )
+    bench_check.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="how many recent history records form the rolling baseline "
+        "(default: 5)",
+    )
+    bench_check.add_argument(
+        "--threshold",
+        action="append",
+        default=[],
+        metavar="LEG=PCT",
+        help="override a leg's slowdown threshold in percent, e.g. "
+        "optimized=10 (repeatable)",
+    )
+    bench_check.add_argument(
+        "--append",
+        action="store_true",
+        help="append this run to the history after checking (only when "
+        "the check passes)",
+    )
     return parser
+
+
+def _add_metrics_output_args(command) -> None:
+    command.add_argument(
+        "--metrics-file",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry to PATH instead of stdout "
+        "(implies --metrics)",
+    )
+    command.add_argument(
+        "--metrics-format",
+        choices=("text", "openmetrics"),
+        default="text",
+        help="metrics rendering: human-readable text (default) or "
+        "Prometheus/OpenMetrics exposition",
+    )
+
+
+def _write_metrics(registry, args, out) -> None:
+    if args.metrics_format == "openmetrics":
+        text = registry.expose()
+    else:
+        text = registry.format() + "\n"
+    if args.metrics_file:
+        with open(args.metrics_file, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(f"metrics: -> {args.metrics_file}\n")
+    else:
+        out.write("\nmetrics:\n" + text)
 
 
 def _cmd_info(out) -> int:
@@ -277,8 +371,9 @@ def _cmd_optimize(args, out) -> int:
         disabled_rules=frozenset(args.disable_rule),
         max_groups=args.max_groups,
     )
+    wants_metrics = args.metrics or args.metrics_file is not None
     tracer = None
-    if args.trace or args.metrics or args.analyze:
+    if args.trace or wants_metrics or args.analyze:
         from repro.obs import CollectingTracer
 
         tracer = CollectingTracer()
@@ -315,13 +410,13 @@ def _cmd_optimize(args, out) -> int:
         writer = write_chrome_trace if args.trace_format == "chrome" else write_jsonl
         count = writer(tracer.events, args.trace)
         out.write(f"\ntrace: {count} events -> {args.trace}\n")
-    if args.metrics:
+    if wants_metrics:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
         registry.record_search_stats(result.stats)
         registry.count_trace(tracer.events)
-        out.write("\nmetrics:\n" + registry.format() + "\n")
+        _write_metrics(registry, args, out)
     return 0
 
 
@@ -349,9 +444,10 @@ def _cmd_batch(args, out) -> int:
         (args.ruleset,),
         mode=args.mode,
         workers=args.workers,
+        trace=args.trace is not None,
     )
     registry = None
-    if args.metrics:
+    if args.metrics or args.metrics_file is not None:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
@@ -377,8 +473,72 @@ def _cmd_batch(args, out) -> int:
         f"parent cache: {parent['entries']} entries, {parent['hits']} hits, "
         f"{parent['misses']} misses, {parent['merged_in']} merged in\n"
     )
+    if args.trace:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        writer = (
+            write_chrome_trace if args.trace_format == "chrome" else write_jsonl
+        )
+        count = writer(report.trace or [], args.trace)
+        lanes = len({e.get("worker", 1) for e in report.trace or []})
+        out.write(
+            f"trace: {count} records ({lanes} worker lane(s)) -> "
+            f"{args.trace}\n"
+        )
     if registry is not None:
-        out.write("\nmetrics:\n" + registry.format() + "\n")
+        _write_metrics(registry, args, out)
+    return 0
+
+
+def _cmd_bench_check(args, out) -> int:
+    import json
+
+    from repro.obs.history import (
+        DEFAULT_THRESHOLDS,
+        append_record,
+        check_regression,
+        load_history,
+        record_from_report,
+    )
+
+    thresholds = dict(DEFAULT_THRESHOLDS)
+    for override in args.threshold:
+        leg, sep, pct = override.partition("=")
+        if not sep or not leg:
+            print(
+                f"error: --threshold must be LEG=PCT, got {override!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            thresholds[leg] = float(pct) / 100.0
+        except ValueError:
+            print(
+                f"error: --threshold {override!r}: {pct!r} is not a number",
+                file=sys.stderr,
+            )
+            return 2
+    with open(args.bench, encoding="utf-8") as handle:
+        report = json.load(handle)
+    record = record_from_report(report)
+    history = load_history(args.history)
+    result = check_regression(
+        record, history, thresholds=thresholds, window=args.window
+    )
+    out.write(
+        f"bench-check: {args.bench} vs {len(history)} history record(s) "
+        f"(window={result.window}) @ {record.git_sha[:12]}\n"
+    )
+    for verdict in result.verdicts:
+        out.write(f"  {verdict.describe()}\n")
+    if not result.ok:
+        failed = ", ".join(v.leg for v in result.failures)
+        out.write(f"REGRESSION: {failed}\n")
+        return 1
+    out.write("ok: no gated leg regressed\n")
+    if args.append:
+        append_record(args.history, record)
+        out.write(f"appended run record -> {args.history}\n")
     return 0
 
 
@@ -398,6 +558,8 @@ def main(argv: "Sequence[str] | None" = None, out=None) -> int:
             return _cmd_optimize(args, out)
         if args.command == "batch":
             return _cmd_batch(args, out)
+        if args.command == "bench-check":
+            return _cmd_bench_check(args, out)
     except PrairieError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

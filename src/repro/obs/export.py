@@ -8,8 +8,18 @@ Two interchange formats for a collected trace:
 * **Chrome trace format** — the JSON array the ``chrome://tracing`` /
   Perfetto UI loads.  Span-shaped events (``optimize``,
   ``optimize_group`` with an ``elapsed_s``) become complete ("X")
-  events with real durations; everything else becomes an instant ("i")
+  events with real durations; ``span_begin``/``span_end`` pairs from
+  the span API become begin ("B") / end ("E") records so nested phases
+  render as a flame stack; everything else becomes an instant ("i")
   event, so rule firings show up as markers along the group spans.
+
+Merged batch traces lay out as one lane per worker: events tagged with
+a ``worker`` id (see :class:`repro.obs.tracer.WorkerTracer`) take that
+id as their Chrome ``pid``, and a ``process_name`` metadata record per
+worker labels the lane, so a multi-process batch run opens in
+``chrome://tracing`` as a real multi-track timeline.  Untagged
+single-process traces keep the flat ``pid=1`` layout with no metadata
+records, exactly as before.
 """
 
 from __future__ import annotations
@@ -48,12 +58,16 @@ def read_jsonl(source: "Union[str, TextIO]") -> "list[dict]":
 
 def _chrome_records(events: Iterable) -> "list[dict]":
     records: list[dict] = []
+    workers: list[int] = []
     for event in event_dicts(events):
         etype = event["type"]
         ts_us = event.get("ts", 0.0) * 1e6
         args = {
             k: v for k, v in event.items() if k not in ("type", "ts")
         }
+        pid = event.get("worker", 1)
+        if "worker" in event and pid not in workers:
+            workers.append(pid)
         span_name = _SPAN_EVENTS.get(etype)
         if span_name is not None and "elapsed_s" in event:
             duration_us = event["elapsed_s"] * 1e6
@@ -67,7 +81,19 @@ def _chrome_records(events: Iterable) -> "list[dict]":
                     "ph": "X",
                     "ts": ts_us - duration_us,
                     "dur": duration_us,
-                    "pid": 1,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        elif etype in ("span_begin", "span_end"):
+            records.append(
+                {
+                    "name": str(event.get("name", "span")),
+                    "cat": "phase",
+                    "ph": "B" if etype == "span_begin" else "E",
+                    "ts": ts_us,
+                    "pid": pid,
                     "tid": 1,
                     "args": args,
                 }
@@ -83,11 +109,22 @@ def _chrome_records(events: Iterable) -> "list[dict]":
                     "ph": "i",
                     "s": "t",
                     "ts": ts_us,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "args": args,
                 }
             )
+    if workers:
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"worker {pid}"},
+            }
+            for pid in sorted(workers)
+        ]
+        records = metadata + records
     return records
 
 

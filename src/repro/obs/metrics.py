@@ -21,10 +21,21 @@ Two bridges tie the registry to the rest of the stack:
   from a trace, keyed ``trace.<event type>.<rule name>`` — what the
   differential tests diff to catch silent search-space divergence
   between two engines or rule-set provenances.
+
+For scrape-based monitoring, :meth:`MetricsRegistry.expose` renders the
+whole registry in the Prometheus/OpenMetrics text exposition format:
+counters as ``_total`` samples, gauges as plain samples, histograms as
+summaries with p50/p95/p99 quantile lines.  Instruments may carry
+labels (``registry.counter("rpc.calls", labels={"method": "opt"})``),
+and per-rule trace counters are folded into a ``rule`` label on
+exposition so one metric family covers every rule.
 """
 
 from __future__ import annotations
 
+import math
+import random
+import re
 import time
 from typing import Any, Iterable
 
@@ -40,13 +51,42 @@ _RULE_EVENTS = (
 )
 
 
+def _labelled_name(name: str, labels: "dict[str, str] | None") -> str:
+    """The instrument's registry key: ``name{k="v",...}`` when labelled.
+
+    Keeping labels inside the key preserves the registry's flat-dict
+    snapshots (:meth:`MetricsRegistry.as_dict`, :meth:`format`) exactly
+    as before labels existed; :meth:`expose` splits the key back apart.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "family", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        family: "str | None" = None,
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
         self.name = name
+        self.family = family if family is not None else name
+        self.labels = dict(labels) if labels else {}
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -58,27 +98,59 @@ class Counter:
 class Gauge:
     """A last-value measurement."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "family", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        family: "str | None" = None,
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
         self.name = name
+        self.family = family if family is not None else name
+        self.labels = dict(labels) if labels else {}
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
         self.value = value
 
 
+#: Sample-reservoir bound for histogram quantiles: below it every
+#: observation is kept exactly; past it, reservoir sampling keeps a
+#: uniform subsample (seeded per histogram, so runs are reproducible).
+RESERVOIR_SIZE = 2048
+
+
 class Histogram:
-    """Running summary statistics over observed values."""
+    """Running summary statistics over observed values.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Beyond count/sum/min/max/mean, the histogram answers quantile
+    queries (:meth:`quantile`; ``p50``/``p95``/``p99`` in
+    :meth:`as_dict` and the OpenMetrics exposition) from a bounded
+    reservoir of observations — exact up to :data:`RESERVOIR_SIZE`
+    samples, a uniform subsample beyond.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name", "family", "labels", "count", "total", "min", "max",
+        "_samples", "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        family: "str | None" = None,
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
         self.name = name
+        self.family = family if family is not None else name
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5EED ^ len(name))
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -87,20 +159,43 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the sampled observations,
+        by the nearest-rank method; 0.0 for an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = math.ceil(q * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
+
     def as_dict(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -131,25 +226,40 @@ class MetricsRegistry:
 
     # -- instruments ----------------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
-        instrument = self._counters.get(name)
+    def counter(
+        self, name: str, labels: "dict[str, str] | None" = None
+    ) -> Counter:
+        key = _labelled_name(name, labels)
+        instrument = self._counters.get(key)
         if instrument is None:
-            self._check_fresh(name)
-            instrument = self._counters[name] = Counter(name)
+            self._check_fresh(key)
+            instrument = self._counters[key] = Counter(
+                key, family=name, labels=labels
+            )
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        instrument = self._gauges.get(name)
+    def gauge(
+        self, name: str, labels: "dict[str, str] | None" = None
+    ) -> Gauge:
+        key = _labelled_name(name, labels)
+        instrument = self._gauges.get(key)
         if instrument is None:
-            self._check_fresh(name)
-            instrument = self._gauges[name] = Gauge(name)
+            self._check_fresh(key)
+            instrument = self._gauges[key] = Gauge(
+                key, family=name, labels=labels
+            )
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
-        instrument = self._histograms.get(name)
+    def histogram(
+        self, name: str, labels: "dict[str, str] | None" = None
+    ) -> Histogram:
+        key = _labelled_name(name, labels)
+        instrument = self._histograms.get(key)
         if instrument is None:
-            self._check_fresh(name)
-            instrument = self._histograms[name] = Histogram(name)
+            self._check_fresh(key)
+            instrument = self._histograms[key] = Histogram(
+                key, family=name, labels=labels
+            )
         return instrument
 
     def timer(self, name: str) -> _Timer:
@@ -257,6 +367,126 @@ class MetricsRegistry:
             h = histogram.as_dict()
             lines.append(
                 f"  histogram {name}: n={h['count']} mean={h['mean']:.6f} "
-                f"min={h['min']:.6f} max={h['max']:.6f}"
+                f"min={h['min']:.6f} max={h['max']:.6f} "
+                f"p50={h['p50']:.6f} p95={h['p95']:.6f} p99={h['p99']:.6f}"
             )
         return "\n".join(lines)
+
+    # -- OpenMetrics exposition ------------------------------------------------
+
+    def expose(self) -> str:
+        """The registry in the OpenMetrics text exposition format.
+
+        Counters become ``<family>_total`` samples, gauges plain
+        samples, histograms *summaries* with ``quantile`` samples for
+        p50/p95/p99 plus ``_sum``/``_count``.  Instrument labels are
+        carried through, and counters named by the
+        ``trace.<rule event>.<rule>`` convention of
+        :meth:`count_trace` are folded into a ``rule`` label so every
+        rule shares one metric family.  Dots (and anything else outside
+        the OpenMetrics name grammar) become underscores.  The returned
+        text ends with the mandatory ``# EOF`` terminator — serve it
+        as-is on a ``/metrics`` endpoint.
+        """
+        families: "dict[tuple[str, str], list[str]]" = {}
+        order: "list[tuple[str, str]]" = []
+
+        def family_lines(family: str, kind: str) -> "list[str]":
+            key = (family, kind)
+            if key not in families:
+                families[key] = []
+                order.append(key)
+            return families[key]
+
+        for _, counter in sorted(self._counters.items()):
+            family, labels = _split_rule_counter(counter)
+            family = _openmetrics_name(family)
+            family_lines(family, "counter").append(
+                f"{family}_total{_render_labels(labels)} "
+                f"{_format_value(counter.value)}"
+            )
+        for _, gauge in sorted(self._gauges.items()):
+            family = _openmetrics_name(gauge.family)
+            family_lines(family, "gauge").append(
+                f"{family}{_render_labels(gauge.labels)} "
+                f"{_format_value(gauge.value)}"
+            )
+        for _, histogram in sorted(self._histograms.items()):
+            family = _openmetrics_name(histogram.family)
+            lines = family_lines(family, "summary")
+            for q in (0.5, 0.95, 0.99):
+                labels = dict(histogram.labels)
+                labels["quantile"] = _format_value(q)
+                lines.append(
+                    f"{family}{_render_labels(labels)} "
+                    f"{_format_value(histogram.quantile(q))}"
+                )
+            suffix_labels = _render_labels(histogram.labels)
+            lines.append(
+                f"{family}_sum{suffix_labels} "
+                f"{_format_value(histogram.total)}"
+            )
+            lines.append(
+                f"{family}_count{suffix_labels} {histogram.count}"
+            )
+
+        out: list[str] = []
+        for family, kind in order:
+            out.append(f"# TYPE {family} {kind}")
+            out.extend(families[(family, kind)])
+        out.append("# EOF")
+        return "\n".join(out) + "\n"
+
+
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _openmetrics_name(name: str) -> str:
+    """Sanitize a registry name into the OpenMetrics name grammar."""
+    sanitized = _NAME_INVALID.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _render_labels(labels: "dict[str, str]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_openmetrics_name(key)}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{{{inner}}}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _split_rule_counter(counter: Counter) -> "tuple[str, dict[str, str]]":
+    """Fold ``<prefix><rule event>.<rule>`` names into a ``rule`` label.
+
+    :meth:`MetricsRegistry.count_trace` keys per-rule counters by name
+    (``trace.trans_fired.join_commute``); on exposition that explodes
+    into one family per rule.  Recognize the convention and rewrite it
+    as ``trace_trans_fired{rule="join_commute"}``.  Explicitly labelled
+    counters are returned untouched.
+    """
+    if counter.labels:
+        return counter.family, counter.labels
+    name = counter.family
+    for etype in _RULE_EVENTS:
+        marker = etype + "."
+        idx = name.find(marker)
+        if idx != -1 and len(name) > idx + len(marker):
+            return name[: idx + len(etype)], {"rule": name[idx + len(marker):]}
+    return name, {}

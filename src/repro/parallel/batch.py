@@ -23,6 +23,16 @@ Whatever the mode or worker count, results are **bit-identical** to
 serial optimization: the search is deterministic, plan-cache hits
 return copies of deterministically-found plans, and results are
 reassembled in input order.
+
+Batches can run **traced** (``BatchOptimizer(..., trace=True)``): the
+parent and every worker run :class:`~repro.obs.tracer.WorkerTracer`
+instances sharing the parent's monotonic-clock epoch, each query's
+search is bracketed by a per-query span, and
+:attr:`BatchReport.trace` carries the merged, time-sorted event
+timeline — ready for :func:`repro.obs.export.write_chrome_trace`,
+which lays workers out as separate ``pid`` lanes.  Tracing never
+changes results: the property tests assert plans, costs, and stats are
+bit-identical with tracing on and off in every mode.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.tracer import WorkerTracer
 from repro.volcano.plancache import DEFAULT_MAX_ENTRIES, PlanCache
 from repro.volcano.search import (
     NO_HEURISTICS,
@@ -78,6 +89,9 @@ class BatchReport:
     elapsed_seconds: float
     merged_entries: int = 0
     worker_cache_stats: list = field(default_factory=list)
+    #: Merged event timeline (time-sorted dicts) when the batch ran
+    #: traced, else ``None``.  Feed to ``write_chrome_trace``.
+    trace: "list[dict] | None" = None
 
     @property
     def queries_per_second(self) -> float:
@@ -98,6 +112,7 @@ class BatchReport:
             "queries_per_second": self.queries_per_second,
             "merged_entries": self.merged_entries,
             "worker_cache_stats": list(self.worker_cache_stats),
+            "trace_events": len(self.trace) if self.trace is not None else 0,
         }
 
 
@@ -133,6 +148,9 @@ class BatchOptimizer:
         Worker count for thread/process modes (default: CPU count).
     options / cache_max_entries:
         Search options and plan-cache bound shared by every worker.
+    trace:
+        When true, every :meth:`run` collects a merged cross-worker
+        event timeline into :attr:`BatchReport.trace`.
 
     The parent-side :attr:`cache` outlives :meth:`run` calls: snapshots
     of it seed every process worker, and worker snapshots merge back
@@ -148,6 +166,7 @@ class BatchOptimizer:
         workers: "int | None" = None,
         options: SearchOptions = NO_HEURISTICS,
         cache_max_entries: int = DEFAULT_MAX_ENTRIES,
+        trace: bool = False,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -157,45 +176,80 @@ class BatchOptimizer:
         self.workers = max(1, workers or os.cpu_count() or 1)
         self.options = options
         self.cache_max_entries = cache_max_entries
+        self.trace = bool(trace)
         self.ruleset = resolve_factory(factory_spec, self.factory_args)
         self.cache = PlanCache(cache_max_entries)
 
     # -- public API --------------------------------------------------------
 
     def run(self, items: "Sequence[BatchItem]") -> BatchReport:
-        """Optimize every item; results come back in input order."""
+        """Optimize every item; results come back in input order.
+
+        With tracing on, the report's :attr:`~BatchReport.trace` is the
+        whole batch's merged timeline: the parent's ``batch_begin`` /
+        ``batch_end`` bracket plus every worker's events, all stamped
+        against the same epoch and sorted by timestamp.
+        """
         started = time.perf_counter()
+        tracer: "WorkerTracer | None" = None
+        if self.trace:
+            tracer = WorkerTracer(worker_id=os.getpid(), epoch=started)
+            tracer.emit(
+                "batch_begin",
+                mode=self.mode,
+                workers=self.workers,
+                queries=len(items),
+            )
         if not items:
-            return BatchReport(
+            report = BatchReport(
                 results=[],
                 stats=SearchStats(),
                 mode=self.mode,
                 workers=self.workers,
                 elapsed_seconds=time.perf_counter() - started,
             )
-        if self.mode == "process":
-            report = self._run_process(items)
+        elif self.mode == "process":
+            report = self._run_process(items, tracer)
         elif self.mode == "thread":
-            report = self._run_thread(items)
+            report = self._run_thread(items, tracer)
         else:
-            report = self._run_serial(items)
+            report = self._run_serial(items, tracer)
         report.elapsed_seconds = time.perf_counter() - started
         merged_stats = SearchStats()
         for item_result in report.results:
             merged_stats.merge(item_result.stats)
         report.stats = merged_stats
+        if tracer is not None:
+            tracer.emit(
+                "batch_end",
+                mode=self.mode,
+                queries=len(report.results),
+                elapsed_s=report.elapsed_seconds,
+            )
+            events = tracer.drain()
+            if report.trace:
+                events.extend(report.trace)
+            events.sort(key=lambda event: event.get("ts", 0.0))
+            report.trace = events
         return report
 
     # -- modes -------------------------------------------------------------
 
-    def _optimize_one(self, item: BatchItem, index: int) -> BatchItemResult:
+    def _optimize_one(
+        self, item: BatchItem, index: int, tracer: "WorkerTracer | None"
+    ) -> BatchItemResult:
         optimizer = VolcanoOptimizer(
             self.ruleset,
             item.catalog,
             options=self.options,
             plan_cache=self.cache,
+            tracer=tracer,
         )
-        result = optimizer.optimize(item.tree, item.required)
+        if tracer is not None:
+            with tracer.query_span(item.label, index=index):
+                result = optimizer.optimize(item.tree, item.required)
+        else:
+            result = optimizer.optimize(item.tree, item.required)
         return BatchItemResult(
             index=index,
             label=item.label,
@@ -204,33 +258,43 @@ class BatchOptimizer:
             stats=result.stats,
         )
 
-    def _run_serial(self, items: "Sequence[BatchItem]") -> BatchReport:
+    def _run_serial(
+        self, items: "Sequence[BatchItem]", tracer=None
+    ) -> BatchReport:
         results = [
-            self._optimize_one(item, index)
+            self._optimize_one(item, index, tracer)
             for index, item in enumerate(items)
         ]
         return self._report(results, [self.cache.stats()])
 
-    def _run_thread(self, items: "Sequence[BatchItem]") -> BatchReport:
+    def _run_thread(
+        self, items: "Sequence[BatchItem]", tracer=None
+    ) -> BatchReport:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                pool.submit(self._optimize_one, item, index)
+                pool.submit(self._optimize_one, item, index, tracer)
                 for index, item in enumerate(items)
             ]
             results = [future.result() for future in futures]
         results.sort(key=lambda r: r.index)
         return self._report(results, [self.cache.stats()])
 
-    def _run_process(self, items: "Sequence[BatchItem]") -> BatchReport:
+    def _run_process(
+        self, items: "Sequence[BatchItem]", tracer=None
+    ) -> BatchReport:
         payload_items = [
-            (index, item.tree, item.catalog, item.required)
+            (index, item.label, item.tree, item.catalog, item.required)
             for index, item in enumerate(items)
         ]
         chunks = _chunk(payload_items, self.workers)
-        parent_snapshot = self.cache.snapshot(self.ruleset, self.factory_spec)
+        emit = tracer.emit if tracer is not None else None
+        parent_snapshot = self.cache.snapshot(
+            self.ruleset, self.factory_spec, emit=emit
+        )
         results: "list[BatchItemResult]" = []
         merged = 0
         worker_stats = []
+        worker_events: "list[dict]" = []
         with ProcessPoolExecutor(
             max_workers=len(chunks),
             initializer=init_worker,
@@ -239,6 +303,8 @@ class BatchOptimizer:
                 self.factory_args,
                 self.options,
                 self.cache_max_entries,
+                tracer is not None,
+                tracer.epoch if tracer is not None else None,
             ),
         ) as pool:
             futures = [
@@ -246,7 +312,7 @@ class BatchOptimizer:
                 for chunk in chunks
             ]
             for future in futures:
-                chunk_results, snapshot, cache_stats = future.result()
+                chunk_results, snapshot, cache_stats, events = future.result()
                 for index, plan, cost, stats in chunk_results:
                     item = items[index]
                     results.append(
@@ -258,11 +324,17 @@ class BatchOptimizer:
                             stats=stats,
                         )
                     )
-                merged += self.cache.merge_snapshot(snapshot, self.ruleset)
+                merged += self.cache.merge_snapshot(
+                    snapshot, self.ruleset, emit=emit
+                )
                 worker_stats.append(cache_stats)
+                if events:
+                    worker_events.extend(events)
         results.sort(key=lambda r: r.index)
         report = self._report(results, worker_stats)
         report.merged_entries = merged
+        if worker_events:
+            report.trace = worker_events
         return report
 
     def _report(self, results, worker_stats) -> BatchReport:

@@ -16,15 +16,22 @@ chunk of a later batch) and return results together with the worker
 cache's own snapshot, which the parent merges back.
 
 Everything that crosses the boundary is plain data: trees, catalogs,
-plans, :class:`~repro.volcano.search.SearchStats`, cache snapshots.
+plans, :class:`~repro.volcano.search.SearchStats`, cache snapshots —
+and, when the batch runs traced, each worker's event buffer: the worker
+runs a :class:`~repro.obs.tracer.WorkerTracer` whose clock is aligned
+to the parent's epoch, and every chunk result carries the events it
+produced, drained, so the parent can merge all workers onto one
+timeline (:attr:`repro.parallel.batch.BatchReport.trace`).
 """
 
 from __future__ import annotations
 
 import importlib
+import os
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.tracer import WorkerTracer
 from repro.volcano.plancache import DEFAULT_MAX_ENTRIES, PlanCache
 from repro.volcano.search import SearchOptions, VolcanoOptimizer
 
@@ -57,6 +64,7 @@ class WorkerState:
     options: SearchOptions
     cache: PlanCache
     tag: str
+    tracer: "WorkerTracer | None" = None
 
 
 _STATE: "WorkerState | None" = None
@@ -67,14 +75,27 @@ def init_worker(
     factory_args: tuple,
     options: SearchOptions,
     cache_max_entries: int = DEFAULT_MAX_ENTRIES,
+    trace: bool = False,
+    trace_epoch: "float | None" = None,
 ) -> None:
-    """Pool initializer: build this process's rule set and plan cache."""
+    """Pool initializer: build this process's rule set and plan cache.
+
+    When ``trace`` is set, the process also gets a
+    :class:`~repro.obs.tracer.WorkerTracer` identified by its pid and
+    aligned to ``trace_epoch`` — the parent's ``time.perf_counter()``
+    reading at batch start — so its event timestamps merge cleanly onto
+    the parent's timeline.
+    """
     global _STATE
+    tracer = None
+    if trace:
+        tracer = WorkerTracer(worker_id=os.getpid(), epoch=trace_epoch)
     _STATE = WorkerState(
         ruleset=resolve_factory(spec, factory_args),
         options=options,
         cache=PlanCache(cache_max_entries),
         tag=spec,
+        tracer=tracer,
     )
 
 
@@ -82,15 +103,19 @@ def optimize_chunk(payload: tuple) -> tuple:
     """Optimize one chunk of batch items in this worker.
 
     ``payload`` is ``(items, parent_snapshot)`` where ``items`` is a
-    list of ``(index, tree, catalog, required)`` tuples and
+    list of ``(index, label, tree, catalog, required)`` tuples and
     ``parent_snapshot`` is the parent cache's exported state (or
-    ``None``).  Returns ``(results, snapshot, cache_stats)`` with
-    ``results`` a list of ``(index, plan, cost, stats)`` in chunk order.
+    ``None``).  Returns ``(results, snapshot, cache_stats, events)``
+    with ``results`` a list of ``(index, plan, cost, stats)`` in chunk
+    order and ``events`` the worker tracer's drained event dicts (or
+    ``None`` when the batch is untraced).
 
     A fresh :class:`VolcanoOptimizer` is built per item (they are cheap;
     catalogs differ per item), all sharing the worker's plan cache — the
     same structure serial mode uses, which is what makes results
-    bit-identical across modes.
+    bit-identical across modes.  When tracing, each item's search runs
+    inside a :meth:`~repro.obs.tracer.WorkerTracer.query_span`, so every
+    optimized query shows as one labelled span in the merged timeline.
     """
     state = _STATE
     if state is None:
@@ -98,17 +123,25 @@ def optimize_chunk(payload: tuple) -> tuple:
             "worker not initialized (optimize_chunk outside a pool?)"
         )
     items, parent_snapshot = payload
+    tracer = state.tracer
+    emit = tracer.emit if tracer is not None else None
     if parent_snapshot is not None:
-        state.cache.merge_snapshot(parent_snapshot, state.ruleset)
+        state.cache.merge_snapshot(parent_snapshot, state.ruleset, emit=emit)
     results = []
-    for index, tree, catalog, required in items:
+    for index, label, tree, catalog, required in items:
         optimizer = VolcanoOptimizer(
             state.ruleset,
             catalog,
             options=state.options,
             plan_cache=state.cache,
+            tracer=tracer,
         )
-        result = optimizer.optimize(tree, required)
+        if tracer is not None:
+            with tracer.query_span(label, index=index):
+                result = optimizer.optimize(tree, required)
+        else:
+            result = optimizer.optimize(tree, required)
         results.append((index, result.plan, result.cost, result.stats))
-    snapshot = state.cache.snapshot(state.ruleset, state.tag)
-    return results, snapshot, state.cache.stats()
+    snapshot = state.cache.snapshot(state.ruleset, state.tag, emit=emit)
+    events = tracer.drain() if tracer is not None else None
+    return results, snapshot, state.cache.stats(), events

@@ -32,6 +32,7 @@ from typing import Any, Callable
 from repro.algebra.descriptors import Descriptor
 from repro.algebra.properties import DONT_CARE
 from repro.errors import TranslationError
+from repro.obs.tracer import span
 from repro.prairie.actions import (
     ActionBlock,
     ActionEnv,
@@ -221,44 +222,51 @@ def compile_block(
     helpers: HelperRegistry,
     name: str = "block",
     optimize: bool = False,
+    tracer=None,
 ) -> Callable[[ActionEnv], None]:
     """Compile an action block to ``fn(env) -> None``.
 
     Falls back to the interpreter when the block contains opaque Python
     actions (their behaviour cannot be code-generated).  ``optimize``
     selects the hoisted-locals code shape (see :class:`_Emitter`).
+    ``tracer`` (optional) brackets the codegen+exec in a
+    ``prairie.compile_block`` span — compilation happens once at
+    translation time, so the span shows up in translation traces, never
+    in the search hot path.
     """
-    if any(isinstance(stmt, PyAction) for stmt in block):
-        return block.execute
-    if not block.statements:
-        return _noop
-    emitter = _Emitter(helpers, optimize=optimize)
-    body: "list[str]" = []
-    for stmt in block.statements:
-        body.extend(emitter.statement(stmt))  # type: ignore[arg-type]
-    lines = [f"def {name}(env):", "    _d = env.descriptors", "    _ctx = env.context"]
-    lines.extend(f"    {line}" for line in body)
-    return _compile("\n".join(lines), emitter, name)
+    with span(tracer, "prairie.compile_block", block=name):
+        if any(isinstance(stmt, PyAction) for stmt in block):
+            return block.execute
+        if not block.statements:
+            return _noop
+        emitter = _Emitter(helpers, optimize=optimize)
+        body: "list[str]" = []
+        for stmt in block.statements:
+            body.extend(emitter.statement(stmt))  # type: ignore[arg-type]
+        lines = [f"def {name}(env):", "    _d = env.descriptors", "    _ctx = env.context"]
+        lines.extend(f"    {line}" for line in body)
+        return _compile("\n".join(lines), emitter, name)
 
 
 def compile_test(
-    test: Test, helpers: HelperRegistry, name: str = "test"
+    test: Test, helpers: HelperRegistry, name: str = "test", tracer=None
 ) -> Callable[[ActionEnv], bool]:
     """Compile a rule test to ``fn(env) -> bool``."""
-    if isinstance(test, PyTest):
-        return test.evaluate
-    assert isinstance(test, TestExpr)
-    if test.is_trivially_true:
-        return _always_true
-    emitter = _Emitter(helpers)
-    expression = emitter.expr(test.expr)
-    source = (
-        f"def {name}(env):\n"
-        f"    _d = env.descriptors\n"
-        f"    _ctx = env.context\n"
-        f"    return bool({expression})"
-    )
-    return _compile(source, emitter, name)
+    with span(tracer, "prairie.compile_test", test=name):
+        if isinstance(test, PyTest):
+            return test.evaluate
+        assert isinstance(test, TestExpr)
+        if test.is_trivially_true:
+            return _always_true
+        emitter = _Emitter(helpers)
+        expression = emitter.expr(test.expr)
+        source = (
+            f"def {name}(env):\n"
+            f"    _d = env.descriptors\n"
+            f"    _ctx = env.context\n"
+            f"    return bool({expression})"
+        )
+        return _compile(source, emitter, name)
 
 
 def _noop(env: ActionEnv) -> None:

@@ -31,6 +31,7 @@ from typing import Callable
 from repro.algebra.operations import Algorithm, NULL_ALGORITHM_NAME
 from repro.algebra.properties import DONT_CARE
 from repro.errors import TranslationError
+from repro.obs.tracer import span
 from repro.prairie.actions import ActionBlock, ActionEnv, Test
 from repro.prairie.analysis import RuleSetAnalysis, analyse
 from repro.prairie.compile import compile_block, compile_test, mint_provenance
@@ -65,8 +66,17 @@ class TranslationResult:
         }
 
 
-def translate(ruleset: PrairieRuleSet) -> TranslationResult:
-    """Run the full P2V pipeline over a Prairie rule set."""
+def translate(
+    ruleset: PrairieRuleSet, tracer=None
+) -> TranslationResult:
+    """Run the full P2V pipeline over a Prairie rule set.
+
+    ``tracer`` (optional) brackets each pipeline stage — merging,
+    analysis, and every per-rule translation — in spans
+    (``p2v.merge``, ``p2v.analyse``, ``p2v.translate_rule``), so a
+    translation trace shows where generation time goes.  Translation is
+    a one-time cost; nothing here touches the search hot path.
+    """
     ruleset.validate()
     enforcer_ops = ruleset.null_ruled_operators()
     preliminary = RuleSetAnalysis(
@@ -76,11 +86,17 @@ def translate(ruleset: PrairieRuleSet) -> TranslationResult:
         enforcer_operators=enforcer_ops,
         enforcer_algorithms=(),
     )
-    merged = merge_rules(ruleset, preliminary)
-    analysis = analyse(
-        ruleset,
-        i_rules=[*merged.i_rules, *merged.enforcer_i_rules, *merged.null_i_rules],
-    )
+    with span(tracer, "p2v.merge", ruleset=ruleset.name):
+        merged = merge_rules(ruleset, preliminary)
+    with span(tracer, "p2v.analyse", ruleset=ruleset.name):
+        analysis = analyse(
+            ruleset,
+            i_rules=[
+                *merged.i_rules,
+                *merged.enforcer_i_rules,
+                *merged.null_i_rules,
+            ],
+        )
 
     volcano = VolcanoRuleSet(
         name=f"{ruleset.name} (P2V)",
@@ -102,21 +118,30 @@ def translate(ruleset: PrairieRuleSet) -> TranslationResult:
             volcano.declare_algorithm(alg)
 
     for t_rule in merged.t_rules:
-        volcano.add_trans_rule(_translate_t_rule(t_rule, ruleset))
+        with span(tracer, "p2v.translate_rule", rule=t_rule.name, kind="t_rule"):
+            volcano.add_trans_rule(_translate_t_rule(t_rule, ruleset, tracer))
     for i_rule in merged.i_rules:
-        volcano.add_impl_rule(
-            _translate_i_rule(i_rule, ruleset, analysis)
-        )
+        with span(tracer, "p2v.translate_rule", rule=i_rule.name, kind="i_rule"):
+            volcano.add_impl_rule(
+                _translate_i_rule(i_rule, ruleset, analysis, tracer)
+            )
     for i_rule in merged.enforcer_i_rules:
-        volcano.add_enforcer(_translate_enforcer(i_rule, ruleset, analysis))
+        with span(
+            tracer, "p2v.translate_rule", rule=i_rule.name, kind="enforcer"
+        ):
+            volcano.add_enforcer(
+                _translate_enforcer(i_rule, ruleset, analysis, tracer)
+            )
 
     volcano.validate()
     return TranslationResult(volcano=volcano, analysis=analysis, merged=merged)
 
 
-def translate_to_volcano(ruleset: PrairieRuleSet) -> VolcanoRuleSet:
+def translate_to_volcano(
+    ruleset: PrairieRuleSet, tracer=None
+) -> VolcanoRuleSet:
     """Convenience wrapper returning just the generated Volcano rule set."""
-    return translate(ruleset).volcano
+    return translate(ruleset, tracer=tracer).volcano
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +149,9 @@ def translate_to_volcano(ruleset: PrairieRuleSet) -> VolcanoRuleSet:
 # ---------------------------------------------------------------------------
 
 
-def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
+def _translate_t_rule(
+    rule: TRule, ruleset: PrairieRuleSet, tracer=None
+) -> TransRule:
     """T-rule → trans_rule (Table 4(a)).
 
     The pre-test statements and the test both become cond_code (they run
@@ -133,14 +160,16 @@ def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
     generator stage of the optimizer-generator paradigm.
     """
     helpers = ruleset.helpers
-    run_pre = compile_block(rule.pre_test, helpers, name="pre_test")
-    run_test = compile_test(rule.test, helpers, name="test")
-    appl_code = compile_block(rule.post_test, helpers, name="appl_code")
+    run_pre = compile_block(rule.pre_test, helpers, name="pre_test", tracer=tracer)
+    run_test = compile_test(rule.test, helpers, name="test", tracer=tracer)
+    appl_code = compile_block(
+        rule.post_test, helpers, name="appl_code", tracer=tracer
+    )
     # A second compilation with the hoisted-locals code shape; the engine
     # runs it on its rule-index fast path and the legacy form otherwise,
     # so the two paths stay individually measurable.
     appl_code_fast = compile_block(
-        rule.post_test, helpers, name="appl_code", optimize=True
+        rule.post_test, helpers, name="appl_code", optimize=True, tracer=tracer
     )
 
     if not rule.pre_test.statements:
@@ -164,7 +193,10 @@ def _translate_t_rule(rule: TRule, ruleset: PrairieRuleSet) -> TransRule:
 
 
 def _make_impl_callables(
-    rule: IRule, ruleset: PrairieRuleSet, analysis: RuleSetAnalysis
+    rule: IRule,
+    ruleset: PrairieRuleSet,
+    analysis: RuleSetAnalysis,
+    tracer=None,
 ) -> dict[str, Callable]:
     """Generate the four Volcano helper functions from an I-rule.
 
@@ -190,9 +222,15 @@ def _make_impl_callables(
     no_requirement = dont_care_vector(physical)
     rule_name = rule.name
 
-    cond_code = compile_test(rule.test, ruleset.helpers, name="cond_code")
-    run_pre_opt = compile_block(rule.pre_opt, ruleset.helpers, name="pre_opt")
-    run_post_opt = compile_block(rule.post_opt, ruleset.helpers, name="post_opt")
+    cond_code = compile_test(
+        rule.test, ruleset.helpers, name="cond_code", tracer=tracer
+    )
+    run_pre_opt = compile_block(
+        rule.pre_opt, ruleset.helpers, name="pre_opt", tracer=tracer
+    )
+    run_post_opt = compile_block(
+        rule.post_opt, ruleset.helpers, name="post_opt", tracer=tracer
+    )
 
     def do_any_good(env: ActionEnv) -> bool:
         run_pre_opt(env)
@@ -227,11 +265,14 @@ def _make_impl_callables(
 
 
 def _translate_i_rule(
-    rule: IRule, ruleset: PrairieRuleSet, analysis: RuleSetAnalysis
+    rule: IRule,
+    ruleset: PrairieRuleSet,
+    analysis: RuleSetAnalysis,
+    tracer=None,
 ) -> ImplRule:
     """I-rule → impl_rule (Table 4(b))."""
     algorithm = ruleset.algorithms[rule.algorithm_name]
-    callables = _make_impl_callables(rule, ruleset, analysis)
+    callables = _make_impl_callables(rule, ruleset, analysis, tracer)
     return ImplRule(
         name=rule.name,
         operator=rule.operator_name,
@@ -245,7 +286,10 @@ def _translate_i_rule(
 
 
 def _translate_enforcer(
-    rule: IRule, ruleset: PrairieRuleSet, analysis: RuleSetAnalysis
+    rule: IRule,
+    ruleset: PrairieRuleSet,
+    analysis: RuleSetAnalysis,
+    tracer=None,
 ) -> Enforcer:
     """Enforcer-algorithm I-rule → Volcano enforcer.
 
@@ -257,7 +301,7 @@ def _translate_enforcer(
             f"enforcer I-rule {rule.name!r} must take exactly one stream"
         )
     algorithm = ruleset.algorithms[rule.algorithm_name]
-    callables = _make_impl_callables(rule, ruleset, analysis)
+    callables = _make_impl_callables(rule, ruleset, analysis, tracer)
     return Enforcer(
         name=rule.name,
         operator=rule.operator_name,

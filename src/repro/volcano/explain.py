@@ -147,6 +147,7 @@ def explain_trace(result: "OptimizationResult | None", events) -> str:
     winners: dict = {}
     timings: dict = {}
     fired: dict = {}
+    phases: dict = {}
     end = None
     for etype, _ts, data in rows:
         if etype == "winner_filed":
@@ -158,6 +159,10 @@ def explain_trace(result: "OptimizationResult | None", events) -> str:
             timings.setdefault(key, data.get("elapsed_s", 0.0))
         elif etype == "trans_fired":
             fired.setdefault(data["gid"], []).append(data["rule"])
+        elif etype == "span_end":
+            name = data.get("name", "?")
+            total, count = phases.get(name, (0.0, 0))
+            phases[name] = (total + data.get("elapsed_s", 0.0), count + 1)
         elif etype == "optimize_end":
             end = data
 
@@ -214,4 +219,12 @@ def explain_trace(result: "OptimizationResult | None", events) -> str:
         lines.append("no root group recorded")
     else:
         render(root_gid, _req_key(end.get("required")), 0)
+    if phases:
+        lines.append("phases:")
+        for name in sorted(phases, key=lambda n: -phases[n][0]):
+            total, count = phases[name]
+            times = "time" if count == 1 else "times"
+            lines.append(
+                f"  {name:<24} {total * 1000:9.3f} ms  ({count} {times})"
+            )
     return "\n".join(lines)

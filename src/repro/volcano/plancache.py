@@ -39,6 +39,7 @@ Hit/miss counters are surfaced per-optimization through
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Union
@@ -297,6 +298,7 @@ class PlanCache:
         ruleset: Any,
         ruleset_tag: str,
         include_memos: bool = False,
+        emit=None,
     ) -> CacheSnapshot:
         """Export this cache's entries for ``ruleset`` in portable form.
 
@@ -310,7 +312,14 @@ class PlanCache:
         their memo reduced to a :class:`MemoSummary`.  Entries whose
         catalog provides no token are skipped — they cannot prove
         validity across a process boundary.
+
+        ``emit`` is an optional resolved trace hook: when given, the
+        export is bracketed by a ``plan_cache.snapshot`` span so batch
+        traces show the IPC serialization cost.
         """
+        if emit is not None:
+            emit("span_begin", name="plan_cache.snapshot")
+            span_started = time.perf_counter()
         with self._lock:
             items = list(self._entries.items())
         exported = []
@@ -337,9 +346,19 @@ class PlanCache:
                     ),
                 )
             )
-        return CacheSnapshot(ruleset_tag=ruleset_tag, entries=exported)
+        result = CacheSnapshot(ruleset_tag=ruleset_tag, entries=exported)
+        if emit is not None:
+            emit(
+                "span_end",
+                name="plan_cache.snapshot",
+                elapsed_s=time.perf_counter() - span_started,
+                entries=len(exported),
+            )
+        return result
 
-    def merge_snapshot(self, snapshot: "CacheSnapshot", ruleset: Any) -> int:
+    def merge_snapshot(
+        self, snapshot: "CacheSnapshot", ruleset: Any, emit=None
+    ) -> int:
         """Fold a snapshot's entries in; returns how many were adopted.
 
         Portable keys are rebound to ``id(ruleset)`` (the caller asserts
@@ -347,7 +366,13 @@ class PlanCache:
         present locally win — the local entry's validity bookkeeping is
         warmer — and adopted entries enter at the MRU end, evicting LRU
         past the bound as a normal store would.
+
+        ``emit``, when given, brackets the merge in a
+        ``plan_cache.merge`` span (see :meth:`snapshot`).
         """
+        if emit is not None:
+            emit("span_begin", name="plan_cache.merge")
+            span_started = time.perf_counter()
         merged = 0
         with self._lock:
             for portable_key, entry in snapshot.entries:
@@ -361,6 +386,13 @@ class PlanCache:
                     self._entries.popitem(last=False)
                     self.evictions += 1
             self.merged_in += merged
+        if emit is not None:
+            emit(
+                "span_end",
+                name="plan_cache.merge",
+                elapsed_s=time.perf_counter() - span_started,
+                merged=merged,
+            )
         return merged
 
     # -- maintenance ----------------------------------------------------------

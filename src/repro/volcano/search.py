@@ -354,7 +354,18 @@ class VolcanoOptimizer:
             cache_key = PlanCache.key_for(
                 self.ruleset, self.options, tree, required
             )
-            entry = cache.lookup(cache_key, self.catalog, emit)
+            if emit is not None:
+                emit("span_begin", name="plan_cache.probe")
+                probe_started = time.perf_counter()
+                entry = cache.lookup(cache_key, self.catalog, emit)
+                emit(
+                    "span_end",
+                    name="plan_cache.probe",
+                    elapsed_s=time.perf_counter() - probe_started,
+                    hit=entry is not None,
+                )
+            else:
+                entry = cache.lookup(cache_key, self.catalog, emit)
             if entry is not None:
                 stats = SearchStats()
                 stats.plan_cache_hits = 1
@@ -412,9 +423,21 @@ class VolcanoOptimizer:
                 f"{tree}"
             )
         if cache is not None:
-            cache.store(
-                cache_key, winner.plan, winner.cost, memo, self.catalog, emit
-            )
+            if emit is not None:
+                emit("span_begin", name="plan_cache.insert")
+                insert_started = time.perf_counter()
+                cache.store(
+                    cache_key, winner.plan, winner.cost, memo, self.catalog, emit
+                )
+                emit(
+                    "span_end",
+                    name="plan_cache.insert",
+                    elapsed_s=time.perf_counter() - insert_started,
+                )
+            else:
+                cache.store(
+                    cache_key, winner.plan, winner.cost, memo, self.catalog, emit
+                )
         if emit is not None:
             emit(
                 "optimize_end",

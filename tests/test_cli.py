@@ -182,3 +182,97 @@ class TestOptimize:
     def test_unknown_query_errors(self):
         code, _text = run(["optimize", "--query", "Q99", "--quiet"])
         assert code == 1
+
+    def test_metrics_to_stdout(self):
+        code, text = run(
+            ["optimize", "--query", "Q1", "--joins", "1", "--quiet",
+             "--metrics"]
+        )
+        assert code == 0
+        assert "metrics:" in text
+
+    def test_metrics_file_routes_registry_out_of_stdout(self, tmp_path):
+        path = str(tmp_path / "metrics.txt")
+        code, text = run(
+            ["optimize", "--query", "Q1", "--joins", "1", "--quiet",
+             "--metrics", "--metrics-file", path]
+        )
+        assert code == 0
+        # plan output no longer interleaves with the registry dump
+        assert "counters:" not in text
+        assert path in text
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert "search.trans_fired" in content
+
+    def test_metrics_file_implies_metrics(self, tmp_path):
+        path = str(tmp_path / "metrics.txt")
+        code, _text = run(
+            ["optimize", "--query", "Q1", "--joins", "1", "--quiet",
+             "--metrics-file", path]
+        )
+        assert code == 0
+        assert __import__("os").path.exists(path)
+
+    def test_metrics_openmetrics_format(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        code, _text = run(
+            ["optimize", "--query", "Q1", "--joins", "1", "--quiet",
+             "--metrics-file", path, "--metrics-format", "openmetrics"]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert content.endswith("# EOF\n")
+        assert "search_trans_fired_total" in content
+
+
+class TestBatch:
+    def test_serial_batch_runs(self):
+        code, text = run(
+            ["batch", "--queries", "Q1,Q2", "--mode", "serial"]
+        )
+        assert code == 0
+        assert "2 queries" in text
+        assert "parent cache:" in text
+
+    def test_batch_trace_chrome(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "batch.json")
+        code, text = run(
+            ["batch", "--queries", "Q1,Q3", "--mode", "serial",
+             "--trace", path]
+        )
+        assert code == 0
+        assert "trace:" in text
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        names = {r["name"] for r in doc["traceEvents"]}
+        assert "optimize_query" in names
+
+    def test_batch_trace_jsonl(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "batch.jsonl")
+        code, _text = run(
+            ["batch", "--queries", "Q1", "--mode", "serial",
+             "--trace", path, "--trace-format", "jsonl"]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+        assert events[0]["type"] == "batch_begin"
+        assert events[-1]["type"] == "batch_end"
+
+    def test_batch_openmetrics_to_file(self, tmp_path):
+        path = str(tmp_path / "batch.prom")
+        code, _text = run(
+            ["batch", "--queries", "Q1,Q2", "--mode", "serial",
+             "--metrics-file", path, "--metrics-format", "openmetrics"]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert content.endswith("# EOF\n")
+        assert "batch_queries" in content

@@ -13,12 +13,15 @@ Three layers of coverage:
 
 import io
 import json
+import re
+import threading
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.obs import (
+    NULL_SPAN,
     NULL_TRACER,
     CollectingTracer,
     CountingTracer,
@@ -26,8 +29,10 @@ from repro.obs import (
     MetricsRegistry,
     NullTracer,
     TraceEvent,
+    WorkerTracer,
     event_dicts,
     read_jsonl,
+    span,
     write_chrome_trace,
     write_jsonl,
 )
@@ -104,6 +109,146 @@ class TestTracers:
         assert "trans_fired" in text and "rule=r" in text
 
 
+class TestSpanAPI:
+    def test_span_emits_begin_end_pair(self):
+        tracer = CollectingTracer()
+        with span(tracer, "phase", stage=1):
+            tracer.emit("inner")
+        types = [e.type for e in tracer.events]
+        assert types == ["span_begin", "inner", "span_end"]
+        begin, _, end = tracer.events
+        assert begin.data == {"name": "phase", "stage": 1}
+        assert end.data["name"] == "phase"
+        assert end.data["stage"] == 1
+        assert end.data["elapsed_s"] >= 0.0
+
+    def test_span_method_on_tracer(self):
+        tracer = CollectingTracer()
+        with tracer.span("p"):
+            pass
+        assert [e.type for e in tracer.events] == ["span_begin", "span_end"]
+
+    def test_span_none_tracer_is_null(self):
+        assert span(None, "phase") is NULL_SPAN
+        assert span(NULL_TRACER, "phase") is NULL_SPAN
+        with span(None, "phase"):  # does nothing, raises nothing
+            pass
+
+    def test_spans_nest(self):
+        tracer = CollectingTracer()
+        with span(tracer, "outer"):
+            with span(tracer, "inner"):
+                pass
+        names = [(e.type, e.data["name"]) for e in tracer.events]
+        assert names == [
+            ("span_begin", "outer"),
+            ("span_begin", "inner"),
+            ("span_end", "inner"),
+            ("span_end", "outer"),
+        ]
+
+
+class TestWorkerTracer:
+    def test_events_tagged_with_worker_id(self):
+        tracer = WorkerTracer(worker_id=42)
+        tracer.emit("tick")
+        assert tracer.events[0].data["worker"] == 42
+
+    def test_query_span_tags_inner_events(self):
+        tracer = WorkerTracer(worker_id=7)
+        with tracer.query_span("Q1", index=0):
+            tracer.emit("trans_fired", rule="r")
+        tracer.emit("outside")
+        dicts = tracer.as_dicts()
+        begin, fired, end, outside = dicts
+        assert begin["type"] == "span_begin"
+        assert begin["name"] == "optimize_query"
+        assert begin["label"] == "Q1"
+        assert begin["index"] == 0
+        assert fired["span"] == begin["span"]
+        assert end["type"] == "span_end"
+        assert end["elapsed_s"] >= 0.0
+        assert "span" not in outside
+
+    def test_query_spans_get_fresh_ids(self):
+        tracer = WorkerTracer(worker_id=1)
+        for label in ("a", "b"):
+            with tracer.query_span(label):
+                pass
+        ids = {e.data["span"] for e in tracer.events}
+        assert ids == {1, 2}
+
+    def test_explicit_epoch_shifts_timestamps(self):
+        import time as _time
+
+        now = _time.perf_counter()
+        tracer = WorkerTracer(worker_id=1, epoch=now - 100.0)
+        tracer.emit("tick")
+        assert tracer.events[0].ts >= 100.0
+        assert tracer.epoch == now - 100.0
+
+    def test_drain_empties_but_preserves_epoch(self):
+        tracer = WorkerTracer(worker_id=1)
+        epoch = tracer.epoch
+        tracer.emit("a")
+        first = tracer.drain()
+        assert [e["type"] for e in first] == ["a"]
+        assert len(tracer) == 0
+        tracer.emit("b")
+        second = tracer.drain()
+        assert tracer.epoch == epoch
+        # the second batch's timestamps continue the first's timeline
+        assert second[0]["ts"] >= first[0]["ts"]
+
+
+class TestTracerThreadSafety:
+    N_THREADS = 8
+    PER_THREAD = 500
+
+    def _hammer(self, fn):
+        threads = [
+            threading.Thread(target=fn, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_collecting_tracer_concurrent_emit(self):
+        tracer = CollectingTracer()
+        self._hammer(
+            lambda t: [
+                tracer.emit("tick", thread=t) for _ in range(self.PER_THREAD)
+            ]
+        )
+        assert len(tracer) == self.N_THREADS * self.PER_THREAD
+
+    def test_counting_tracer_concurrent_inc(self):
+        tracer = CountingTracer()
+        self._hammer(
+            lambda t: [tracer.emit("tick") for _ in range(self.PER_THREAD)]
+        )
+        assert tracer.counts["tick"] == self.N_THREADS * self.PER_THREAD
+
+    def test_worker_tracer_span_ids_unique_across_threads(self):
+        tracer = WorkerTracer(worker_id=1)
+
+        def work(t):
+            for _ in range(50):
+                with tracer.query_span(f"t{t}"):
+                    tracer.emit("inner")
+
+        self._hammer(work)
+        begins = [
+            e.data["span"]
+            for e in tracer.events
+            if e.type == "span_begin"
+        ]
+        assert len(begins) == self.N_THREADS * 50
+        assert len(set(begins)) == len(begins)
+
+
 # ---------------------------------------------------------------------------
 # Metrics registry units
 # ---------------------------------------------------------------------------
@@ -175,6 +320,149 @@ class TestMetricsRegistry:
         assert set(registry.counters("a.")) == {"a.x"}
 
 
+class TestHistogramPercentiles:
+    def test_as_dict_reports_percentiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for i in range(1, 101):
+            h.observe(float(i))
+        snap = h.as_dict()
+        # backward-compatible keys still present
+        for key in ("count", "sum", "mean", "min", "max"):
+            assert key in snap
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+
+    def test_quantile_nearest_rank(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        registry = MetricsRegistry()
+        snap = registry.histogram("h").as_dict()
+        assert snap["p50"] == 0.0
+        assert snap["p95"] == 0.0
+        assert snap["p99"] == 0.0
+        assert snap["count"] == 0
+
+    def test_reservoir_bounds_memory_but_tracks_count(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        n = RESERVOIR_SIZE + 500
+        for i in range(n):
+            h.observe(float(i))
+        assert h.count == n
+        assert len(h._samples) == RESERVOIR_SIZE
+        # quantiles stay sane estimates of the uniform stream
+        assert 0.0 <= h.quantile(0.5) <= float(n)
+
+
+# A minimal OpenMetrics text-format line grammar: every exposition line
+# must be a comment/metadata line, a sample line, or the EOF marker.
+_OM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_OM_LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\}"
+_OM_VALUE = r"(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf)|NaN)"
+_OM_SAMPLE = re.compile(rf"^{_OM_NAME}(?:{_OM_LABELS})? {_OM_VALUE}$")
+_OM_TYPE = re.compile(rf"^# TYPE {_OM_NAME} (?:counter|gauge|summary|histogram|info|unknown)$")
+
+
+def assert_openmetrics_parses(text):
+    lines = text.split("\n")
+    assert lines[-1] == "", "exposition must end with a newline"
+    lines = lines[:-1]
+    assert lines[-1] == "# EOF", "exposition must end with # EOF"
+    for line in lines[:-1]:
+        assert _OM_TYPE.match(line) or _OM_SAMPLE.match(line), (
+            f"line does not parse under the OpenMetrics grammar: {line!r}"
+        )
+
+
+class TestOpenMetricsExposition:
+    def test_counters_get_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("searches").inc(3)
+        text = registry.expose()
+        assert "# TYPE searches counter\n" in text
+        assert "searches_total 3\n" in text
+        assert_openmetrics_parses(text)
+
+    def test_gauges_render_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("memo.groups").set(12)
+        text = registry.expose()
+        assert "# TYPE memo_groups gauge\n" in text
+        assert "memo_groups 12\n" in text
+        assert_openmetrics_parses(text)
+
+    def test_histogram_renders_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("elapsed")
+        for i in range(1, 101):
+            h.observe(float(i))
+        text = registry.expose()
+        assert "# TYPE elapsed summary\n" in text
+        assert 'elapsed{quantile="0.5"} 50' in text
+        assert 'elapsed{quantile="0.95"} 95' in text
+        assert 'elapsed{quantile="0.99"} 99' in text
+        assert "elapsed_count 100\n" in text
+        assert "elapsed_sum " in text
+        assert_openmetrics_parses(text)
+
+    def test_labels_render_and_escape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"query": 'Q"1"\\x', "mode": "a\nb"}).inc()
+        text = registry.expose()
+        assert_openmetrics_parses(text)
+        assert 'mode="a\\nb"' in text
+        assert 'query="Q\\"1\\"\\\\x"' in text
+
+    def test_rule_counters_fold_into_labels(self):
+        registry = MetricsRegistry()
+        registry.count_trace(
+            [
+                TraceEvent("trans_fired", 0.0, {"rule": "join.commute"}),
+                TraceEvent("trans_fired", 0.0, {"rule": "join.commute"}),
+                TraceEvent("group_created", 0.0, {"gid": 0}),
+            ]
+        )
+        # the name-keyed registry view is unchanged (backward compat) ...
+        assert registry.counters("trace.")["trace.trans_fired.join.commute"] == 2
+        # ... while the exposition folds the rule into a label
+        text = registry.expose()
+        assert 'trace_trans_fired_total{rule="join.commute"} 2\n' in text
+        assert "trace_group_created_total 1\n" in text
+        assert_openmetrics_parses(text)
+
+    def test_exposition_after_real_search(self, schema, oodb_volcano_generated):
+        catalog, tree = make_query_instance(schema, "Q1", 1, 0)
+        tracer = CollectingTracer()
+        result = VolcanoOptimizer(
+            oodb_volcano_generated, catalog, tracer=tracer
+        ).optimize(tree)
+        registry = MetricsRegistry()
+        registry.record_search_stats(result.stats)
+        registry.count_trace(tracer.events)
+        assert_openmetrics_parses(registry.expose())
+
+    def test_invalid_name_characters_sanitized(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache.hit-rate %").set(0.5)
+        assert_openmetrics_parses(registry.expose())
+
+    def test_empty_registry_exposes_just_eof(self):
+        assert MetricsRegistry().expose() == "# EOF\n"
+
+
 # ---------------------------------------------------------------------------
 # Exporters
 # ---------------------------------------------------------------------------
@@ -211,6 +499,83 @@ class TestExporters:
         for span in spans:
             assert span["dur"] >= 0
             assert span["ts"] >= 0 or span["dur"] == 0
+
+    def test_chrome_trace_multi_worker_lanes(self, tmp_path):
+        """Satellite: a merged multi-worker trace round-trips with one
+        pid lane per worker, per-lane monotonic timestamps, and
+        balanced begin/end span pairs."""
+        events = []
+        # deterministic synthetic batch: 3 workers, 2 query spans each,
+        # interleaved in merged (global-timestamp) order
+        ts = 0.0
+        for qround in range(2):
+            for worker in (101, 102, 103):
+                label = f"Q{qround * 3 + (worker - 100)}"
+                events.append(
+                    {
+                        "type": "span_begin",
+                        "ts": ts,
+                        "name": "optimize_query",
+                        "label": label,
+                        "worker": worker,
+                        "span": qround + 1,
+                    }
+                )
+                ts += 0.001
+                events.append(
+                    {
+                        "type": "trans_fired",
+                        "ts": ts,
+                        "rule": "r",
+                        "worker": worker,
+                        "span": qround + 1,
+                    }
+                )
+                ts += 0.001
+                events.append(
+                    {
+                        "type": "span_end",
+                        "ts": ts,
+                        "name": "optimize_query",
+                        "label": label,
+                        "elapsed_s": 0.002,
+                        "worker": worker,
+                        "span": qround + 1,
+                    }
+                )
+                ts += 0.001
+        events.sort(key=lambda e: e["ts"])
+        path = str(tmp_path / "merged.json")
+        write_chrome_trace(events, path)
+        with open(path, encoding="utf-8") as handle:
+            records = json.load(handle)["traceEvents"]
+
+        # one metadata record and one lane per worker
+        meta = [r for r in records if r["ph"] == "M"]
+        assert {m["pid"] for m in meta} == {101, 102, 103}
+        assert all(m["name"] == "process_name" for m in meta)
+        lanes = {r["pid"] for r in records if r["ph"] != "M"}
+        assert lanes == {101, 102, 103}
+
+        per_lane_depth = {pid: 0 for pid in lanes}
+        last_ts = {}
+        for record in records:
+            if record["ph"] == "M":
+                continue
+            pid = record["pid"]
+            # timestamps are monotonic within each lane
+            assert record["ts"] >= last_ts.get(pid, float("-inf"))
+            last_ts[pid] = record["ts"]
+            if record["ph"] == "B":
+                per_lane_depth[pid] += 1
+            elif record["ph"] == "E":
+                per_lane_depth[pid] -= 1
+                assert per_lane_depth[pid] >= 0, "E without matching B"
+        # every begin is balanced by an end
+        assert all(depth == 0 for depth in per_lane_depth.values())
+        # each worker carries its two query spans
+        begins = [r for r in records if r["ph"] == "B"]
+        assert len(begins) == 6
 
 
 # ---------------------------------------------------------------------------

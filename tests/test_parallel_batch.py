@@ -136,6 +136,117 @@ class TestModesAgree:
         assert [r.index for r in report.results] == [0, 1, 2]
 
 
+class TestBatchTracing:
+    def test_untraced_report_has_no_trace(self):
+        report = BatchOptimizer(FACTORY, ("oodb",), mode="serial").run(
+            make_items(POOL[:1])
+        )
+        assert report.trace is None
+        assert report.as_dict()["trace_events"] == 0
+
+    def test_tracing_does_not_change_results(self):
+        """Acceptance: results bit-identical to serial mode with tracing
+        on and off, in every mode."""
+        items = make_items(POOL[:4])
+        reference = signature(
+            BatchOptimizer(FACTORY, ("oodb",), mode="serial").run(items)
+        )
+        for mode in MODES:
+            traced = BatchOptimizer(
+                FACTORY, ("oodb",), mode=mode, workers=2, trace=True
+            )
+            assert signature(traced.run(items)) == reference
+
+    def test_serial_trace_brackets_every_query(self):
+        items = make_items(POOL[:3])
+        report = BatchOptimizer(
+            FACTORY, ("oodb",), mode="serial", trace=True
+        ).run(items)
+        trace = report.trace
+        assert trace is not None
+        assert trace[0]["type"] == "batch_begin"
+        assert trace[-1]["type"] == "batch_end"
+        begins = [
+            e for e in trace
+            if e["type"] == "span_begin" and e.get("name") == "optimize_query"
+        ]
+        assert sorted(e["label"] for e in begins) == sorted(
+            item.label for item in items
+        )
+        # merged timeline is time-sorted
+        stamps = [e["ts"] for e in trace]
+        assert stamps == sorted(stamps)
+
+    def test_process_trace_merges_worker_lanes(self):
+        """Acceptance: a multi-worker process batch yields one merged
+        timeline with a span per optimized query, tagged by worker."""
+        items = make_items(POOL)
+        report = BatchOptimizer(
+            FACTORY, ("oodb",), mode="process", workers=3, trace=True
+        ).run(items)
+        trace = report.trace
+        assert trace is not None
+        workers = {e.get("worker") for e in trace}
+        assert None not in workers  # every event is worker-tagged
+        # parent + at least one pool worker (the pool may reuse
+        # processes, so exactly-3 cannot be asserted portably)
+        assert len(workers) >= 2
+        begins = [
+            e for e in trace
+            if e["type"] == "span_begin" and e.get("name") == "optimize_query"
+        ]
+        assert sorted(e["label"] for e in begins) == sorted(
+            item.label for item in items
+        )
+        ends = [
+            e for e in trace
+            if e["type"] == "span_end" and e.get("name") == "optimize_query"
+        ]
+        assert len(ends) == len(begins)
+        assert all(e["elapsed_s"] >= 0.0 for e in ends)
+        stamps = [e["ts"] for e in trace]
+        assert stamps == sorted(stamps)
+        # events carry the plan-cache IPC spans too
+        names = {
+            e.get("name") for e in trace if e["type"] == "span_end"
+        }
+        assert "plan_cache.snapshot" in names
+
+    def test_chrome_export_of_merged_trace_has_worker_lanes(self, tmp_path):
+        import json
+
+        from repro.obs import write_chrome_trace
+
+        items = make_items(POOL[:4])
+        report = BatchOptimizer(
+            FACTORY, ("oodb",), mode="process", workers=2, trace=True
+        ).run(items)
+        path = str(tmp_path / "merged.json")
+        write_chrome_trace(report.trace, path)
+        with open(path, encoding="utf-8") as handle:
+            records = json.load(handle)["traceEvents"]
+        meta_pids = {r["pid"] for r in records if r["ph"] == "M"}
+        event_pids = {r["pid"] for r in records if r["ph"] != "M"}
+        assert meta_pids == event_pids
+        assert len(event_pids) >= 2
+
+    def test_thread_trace_shares_one_timeline(self):
+        items = make_items(POOL[:4])
+        report = BatchOptimizer(
+            FACTORY, ("oodb",), mode="thread", workers=2, trace=True
+        ).run(items)
+        trace = report.trace
+        assert trace is not None
+        begins = [
+            e for e in trace
+            if e["type"] == "span_begin" and e.get("name") == "optimize_query"
+        ]
+        assert len(begins) == len(items)
+        # per-query span ids are unique even across threads
+        ids = [e["span"] for e in begins]
+        assert len(set(ids)) == len(ids)
+
+
 class TestCachePlumbing:
     def test_serial_second_batch_hits_cache(self):
         # Q1/Q3/Q5 have pairwise-distinct fingerprints (Q1/Q2, Q3/Q4,
